@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark files (kept out of conftest so imports are explicit)."""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, context, experiment_module):
+    """Benchmark one experiment driver and print its regenerated table."""
+    result = benchmark.pedantic(lambda: experiment_module.run(context), rounds=1, iterations=1)
+    print()
+    print(result.text)
+    return result

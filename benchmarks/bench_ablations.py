@@ -1,0 +1,10 @@
+"""Benchmark: regenerate ablations of the paper (driver: repro.experiments.ablations)."""
+
+from _harness import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, context):
+    result = run_and_report(benchmark, context, ablations)
+    assert result.data

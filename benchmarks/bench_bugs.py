@@ -1,0 +1,10 @@
+"""Benchmark: regenerate bugs of the paper (driver: repro.experiments.bugs)."""
+
+from _harness import run_and_report
+
+from repro.experiments import bugs
+
+
+def test_bugs(benchmark, context):
+    result = run_and_report(benchmark, context, bugs)
+    assert result.data

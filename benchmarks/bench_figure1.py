@@ -1,0 +1,10 @@
+"""Benchmark: regenerate figure1 of the paper (driver: repro.experiments.figure1)."""
+
+from _harness import run_and_report
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, context):
+    result = run_and_report(benchmark, context, figure1)
+    assert result.data

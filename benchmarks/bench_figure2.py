@@ -1,0 +1,10 @@
+"""Benchmark: regenerate figure2 of the paper (driver: repro.experiments.figure2)."""
+
+from _harness import run_and_report
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, context):
+    result = run_and_report(benchmark, context, figure2)
+    assert result.data

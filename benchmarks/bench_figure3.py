@@ -1,0 +1,10 @@
+"""Benchmark: regenerate figure3 of the paper (driver: repro.experiments.figure3)."""
+
+from _harness import run_and_report
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, context):
+    result = run_and_report(benchmark, context, figure3)
+    assert result.data

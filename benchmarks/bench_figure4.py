@@ -1,0 +1,10 @@
+"""Benchmark: regenerate figure4 of the paper (driver: repro.experiments.figure4)."""
+
+from _harness import run_and_report
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, context):
+    result = run_and_report(benchmark, context, figure4)
+    assert result.data

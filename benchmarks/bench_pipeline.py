@@ -1,0 +1,26 @@
+"""Benchmarks of the two heavy pipeline stages themselves.
+
+These measure what the per-table benchmarks deliberately exclude: generating a
+corpus (plan + donor recording + serialization + re-parsing) and executing one
+suite on one host with the unified runner.
+"""
+
+from repro.core.transplant import run_transplant
+from repro.corpus import build_suite
+
+
+def test_corpus_generation(benchmark):
+    suite = benchmark.pedantic(lambda: build_suite("slt", file_count=3, records_per_file=60, seed=42), rounds=1, iterations=1)
+    assert suite.total_sql_records > 100
+
+
+def test_cross_execution_slt_on_duckdb(benchmark):
+    suite = build_suite("slt", file_count=3, records_per_file=60, seed=42)
+    result = benchmark.pedantic(lambda: run_transplant(suite, "duckdb"), rounds=1, iterations=1)
+    assert 0.0 < result.success_rate <= 1.0
+
+
+def test_cross_execution_postgres_suite_on_mysql(benchmark):
+    suite = build_suite("postgres", file_count=3, records_per_file=40, seed=42)
+    result = benchmark.pedantic(lambda: run_transplant(suite, "mysql"), rounds=1, iterations=1)
+    assert result.result.executed_cases > 0

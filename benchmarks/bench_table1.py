@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table1 of the paper (driver: repro.experiments.table1)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, context):
+    result = run_and_report(benchmark, context, table1)
+    assert result.data

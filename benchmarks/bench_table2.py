@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table2 of the paper (driver: repro.experiments.table2)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, context):
+    result = run_and_report(benchmark, context, table2)
+    assert result.data

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table3 of the paper (driver: repro.experiments.table3)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, context):
+    result = run_and_report(benchmark, context, table3)
+    assert result.data

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table4 of the paper (driver: repro.experiments.table4)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, context):
+    result = run_and_report(benchmark, context, table4)
+    assert result.data

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table5 of the paper (driver: repro.experiments.table5)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, context):
+    result = run_and_report(benchmark, context, table5)
+    assert result.data

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table6 of the paper (driver: repro.experiments.table6)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, context):
+    result = run_and_report(benchmark, context, table6)
+    assert result.data

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table7 of the paper (driver: repro.experiments.table7)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table7
+
+
+def test_table7(benchmark, context):
+    result = run_and_report(benchmark, context, table7)
+    assert result.data

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate table8 of the paper (driver: repro.experiments.table8)."""
+
+from _harness import run_and_report
+
+from repro.experiments import table8
+
+
+def test_table8(benchmark, context):
+    result = run_and_report(benchmark, context, table8)
+    assert result.data

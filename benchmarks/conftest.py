@@ -1,0 +1,31 @@
+"""Shared state for the benchmark harness.
+
+One :class:`ExperimentContext` is built per benchmark session (corpora +
+cross-execution matrix); the per-table benchmarks then time the analysis that
+regenerates each table/figure and print the regenerated output so the numbers
+can be compared with the paper (see EXPERIMENTS.md).
+
+``--benchmark-only`` runs are expected to take a few minutes: the corpus is
+generated at the default laptop scale and executed on all four hosts once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+#: Scale used by the benchmark campaign (fraction of the default file counts).
+BENCHMARK_SCALE = 0.5
+BENCHMARK_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    shared = ExperimentContext(scale=BENCHMARK_SCALE, seed=BENCHMARK_SEED)
+    # Materialise the expensive shared state once, outside the timed sections.
+    shared.suites
+    shared.mysql_suite
+    shared.matrix
+    return shared
+

@@ -1,0 +1,63 @@
+"""Cross-DBMS bug hunt: reuse test suites to find crashes and hangs (RQ4).
+
+This example reproduces the paper's headline result: executing test suites
+written for one DBMS on *other* DBMSs surfaces crashes and hangs that each
+system's own suite misses.  It
+
+1. generates small synthetic corpora in the SLT, PostgreSQL, and DuckDB native
+   formats (statistically modelled on the real suites),
+2. transplants every suite onto every host with the unified runner,
+3. reports the crash/hang findings and reduces one crash to a minimal
+   reproducer with the delta-debugging reducer.
+
+Run with: ``python examples/cross_dbms_bug_hunt.py``  (takes ~10-30 s)
+"""
+
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.core.reducer import make_crash_predicate, reduce_statements
+from repro.core.report import format_heatmap
+from repro.core.transplant import run_matrix
+from repro.corpus import build_all_suites
+
+
+def main() -> None:
+    print("Generating synthetic corpora (SLT, PostgreSQL, DuckDB)...")
+    suites = build_all_suites(seed=0, scale=0.3)
+    for name, suite in suites.items():
+        print(f"  {name:10s} {len(suite.files):3d} files, {suite.total_sql_records:5d} SQL test cases")
+
+    print("\nExecuting every suite on every host (the Figure 4 campaign)...")
+    matrix = run_matrix(suites)
+    rates = {(suite, host): matrix.success_rate(suite, host) for suite in suites for host in ("sqlite", "postgres", "duckdb", "mysql")}
+    print(format_heatmap(list(suites), ("sqlite", "postgres", "duckdb", "mysql"), rates, title="Success rates"))
+
+    summary = matrix.fault_summary()
+    print(f"\nCrashes found: {summary.unique_crashes()}   Hangs found: {summary.unique_hangs()}")
+    for report in {report.message: report for report in summary.crashes}.values():
+        print(f"  [CRASH] {report.dbms}: {report.message}")
+        print(f"          statement: {report.statement[:100]}")
+    for report in {report.message: report for report in summary.hangs}.values():
+        print(f"  [HANG]  {report.dbms}: {report.message}")
+
+    # Reduce the UPDATE-after-COMMIT crash to a minimal statement sequence,
+    # like the paper reduces every reported test case before filing it.
+    print("\nReducing the DuckDB UPDATE-after-COMMIT crash (Listing 13) with ddmin...")
+    statements = [
+        "CREATE TABLE a (b INTEGER)",
+        "INSERT INTO a VALUES (0)",
+        "SELECT * FROM a",
+        "BEGIN",
+        "INSERT INTO a VALUES (1)",
+        "UPDATE a SET b = b + 10",
+        "COMMIT",
+        "SELECT count(*) FROM a",
+        "UPDATE a SET b = b + 10",
+    ]
+    reduced = reduce_statements(statements, make_crash_predicate(lambda: MiniDBAdapter("duckdb")))
+    print(f"  {len(statements)} statements reduced to {len(reduced)}:")
+    for statement in reduced:
+        print(f"    {statement};")
+
+
+if __name__ == "__main__":
+    main()

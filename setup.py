@@ -1,0 +1,5 @@
+"""Setuptools shim so ``pip install -e .`` works with older toolchains."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""DBMS adapters: the connector layer SQuaLity executes statements through.
+
+The paper stresses that SQuaLity uses the *Python DBMS connectors* (not the
+CLI clients) so that results can be compared consistently across systems.  We
+mirror that: every adapter implements :class:`~repro.adapters.base.DBMSAdapter`
+and returns :class:`~repro.adapters.base.ExecutionOutcome` objects with
+connector-style rendered values.
+
+Four adapters are provided:
+
+* ``sqlite`` — the real ``sqlite3`` standard-library engine (the one genuine
+  DBMS available offline),
+* ``sqlite-mini``, ``postgres``, ``duckdb``, ``mysql`` — MiniDB sessions
+  configured with the corresponding dialect profile (the substitution for the
+  real client/server systems; see DESIGN.md).
+"""
+
+from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters.sqlite_adapter import SQLite3Adapter
+from repro.adapters.registry import available_adapters, create_adapter, register_adapter
+from repro.adapters.faults import FaultReport, known_fault_signatures
+
+__all__ = [
+    "DBMSAdapter",
+    "ExecutionOutcome",
+    "ExecutionStatus",
+    "MiniDBAdapter",
+    "SQLite3Adapter",
+    "available_adapters",
+    "create_adapter",
+    "register_adapter",
+    "FaultReport",
+    "known_fault_signatures",
+]

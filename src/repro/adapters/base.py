@@ -1,0 +1,99 @@
+"""Adapter interface and execution outcome model.
+
+The paper's "Supporting a new DBMS" implication (Section 9) notes that adding
+a DBMS to SQuaLity only requires implementing a handful of interface methods
+(connect, set up / tear down a database, execute statements and queries) —
+about 33 LOC per system.  :class:`DBMSAdapter` is that interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dialects.base import DialectProfile
+
+
+class ExecutionStatus(enum.Enum):
+    """Outcome category of executing one statement."""
+
+    OK = "ok"
+    ERROR = "error"
+    CRASH = "crash"
+    HANG = "hang"
+
+    @property
+    def is_abnormal(self) -> bool:
+        """Crashes and hangs are never expected outcomes (Section 9)."""
+        return self in (ExecutionStatus.CRASH, ExecutionStatus.HANG)
+
+
+@dataclass
+class ExecutionOutcome:
+    """What happened when an adapter executed one statement."""
+
+    status: ExecutionStatus
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    rendered: list[list[str]] = field(default_factory=list)
+    error: str = ""
+    error_type: str = ""
+    statement: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ExecutionStatus.OK
+
+    @property
+    def is_query_result(self) -> bool:
+        return self.ok and bool(self.columns)
+
+    def flat_values(self) -> list[str]:
+        """All rendered values in row-major order (SLT value-wise comparison)."""
+        return [value for row in self.rendered for value in row]
+
+
+class DBMSAdapter(ABC):
+    """Common interface over every DBMS SQuaLity can execute tests on."""
+
+    #: short machine name, e.g. ``"sqlite"``
+    name: str = "abstract"
+    #: dialect profile describing the system's SQL dialect
+    dialect: DialectProfile
+
+    @abstractmethod
+    def connect(self) -> None:
+        """Open a connection / create the in-process engine instance."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Drop all state so the next test file starts from a clean database."""
+
+    @abstractmethod
+    def execute(self, sql: str) -> ExecutionOutcome:
+        """Execute one statement and describe the outcome (never raises)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear down the connection."""
+
+    # -- conveniences shared by all adapters ---------------------------------------
+
+    def execute_many(self, statements: list[str]) -> list[ExecutionOutcome]:
+        """Execute statements in order, stopping early only on a crash."""
+        outcomes = []
+        for statement in statements:
+            outcome = self.execute(statement)
+            outcomes.append(outcome)
+            if outcome.status is ExecutionStatus.CRASH:
+                break
+        return outcomes
+
+    def __enter__(self) -> "DBMSAdapter":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,67 @@
+"""Fault-emulation reporting utilities.
+
+The crash/hang *injection* lives inside MiniDB sessions (driven by the dialect
+profiles' :class:`~repro.dialects.base.FaultSignature` entries); this module
+provides the reporting side used by the RQ4 experiment: enumerate the known
+signatures, match outcomes against them, and summarise which bugs a
+transplanted test-suite run rediscovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adapters.base import ExecutionOutcome, ExecutionStatus
+from repro.dialects import ALL_DIALECTS
+from repro.dialects.base import FaultSignature
+
+
+@dataclass
+class FaultReport:
+    """One crash or hang observed while executing transplanted test cases."""
+
+    dbms: str
+    kind: str
+    statement: str
+    message: str
+    reference: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind.upper()}] {self.dbms}: {self.message}"
+
+
+def known_fault_signatures() -> dict[str, list[FaultSignature]]:
+    """All documented crash/hang signatures per dialect."""
+    return {name: list(profile.fault_signatures) for name, profile in ALL_DIALECTS.items() if profile.fault_signatures}
+
+
+def collect_fault_reports(dbms: str, outcomes: list[ExecutionOutcome]) -> list[FaultReport]:
+    """Extract crash/hang reports from a list of execution outcomes."""
+    reports: list[FaultReport] = []
+    for outcome in outcomes:
+        if outcome.status is ExecutionStatus.CRASH:
+            reports.append(FaultReport(dbms=dbms, kind="crash", statement=outcome.statement, message=outcome.error))
+        elif outcome.status is ExecutionStatus.HANG:
+            reports.append(FaultReport(dbms=dbms, kind="hang", statement=outcome.statement, message=outcome.error))
+    return reports
+
+
+@dataclass
+class FaultSummary:
+    """Aggregate crash/hang tally across a whole cross-execution campaign."""
+
+    crashes: list[FaultReport] = field(default_factory=list)
+    hangs: list[FaultReport] = field(default_factory=list)
+
+    def add(self, report: FaultReport) -> None:
+        if report.kind == "crash":
+            self.crashes.append(report)
+        else:
+            self.hangs.append(report)
+
+    def unique_crashes(self) -> int:
+        """Distinct crash signatures (message text deduplicated)."""
+        return len({report.message for report in self.crashes})
+
+    def unique_hangs(self) -> int:
+        return len({report.message for report in self.hangs})

@@ -1,0 +1,71 @@
+"""Adapter running statements on a MiniDB session with a dialect profile."""
+
+from __future__ import annotations
+
+from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
+from repro.dialects.base import DialectProfile, get_dialect
+from repro.engine.session import Session
+from repro.engine.values import render_value
+from repro.errors import (
+    DatabaseError,
+    EngineCrash,
+    EngineHang,
+    ReproError,
+    SQLSyntaxError,
+)
+
+
+class MiniDBAdapter(DBMSAdapter):
+    """Executes statements on the MiniDB emulation of one DBMS dialect."""
+
+    def __init__(self, dialect: DialectProfile | str, enable_faults: bool = True, seed: int = 0, render_style: str = "python"):
+        self.dialect = get_dialect(dialect) if isinstance(dialect, str) else dialect
+        self.name = self.dialect.name
+        self.enable_faults = enable_faults
+        self.seed = seed
+        self.render_style = render_style
+        self.session: Session | None = None
+
+    def connect(self) -> None:
+        self.session = Session(dialect=self.dialect, enable_faults=self.enable_faults, seed=self.seed)
+
+    def reset(self) -> None:
+        if self.session is None or self.session.crashed:
+            self.connect()
+        else:
+            self.session.reset()
+
+    def close(self) -> None:
+        if self.session is not None:
+            self.session.close()
+            self.session = None
+
+    @property
+    def features_exercised(self) -> set[str]:
+        """Engine feature/branch identifiers touched so far (Table 8 coverage)."""
+        return set(self.session.features) if self.session is not None else set()
+
+    def execute(self, sql: str) -> ExecutionOutcome:
+        if self.session is None:
+            self.connect()
+        assert self.session is not None
+        try:
+            result = self.session.execute(sql)
+        except EngineCrash as error:
+            return ExecutionOutcome(status=ExecutionStatus.CRASH, error=str(error), error_type="EngineCrash", statement=sql)
+        except EngineHang as error:
+            return ExecutionOutcome(status=ExecutionStatus.HANG, error=str(error), error_type="EngineHang", statement=sql)
+        except SQLSyntaxError as error:
+            return ExecutionOutcome(status=ExecutionStatus.ERROR, error=f"syntax error: {error}", error_type="SQLSyntaxError", statement=sql)
+        except (DatabaseError, ReproError) as error:
+            return ExecutionOutcome(status=ExecutionStatus.ERROR, error=str(error), error_type=type(error).__name__, statement=sql)
+        except RecursionError as error:  # deep expressions: report as an engine error
+            return ExecutionOutcome(status=ExecutionStatus.ERROR, error=f"expression too deep: {error}", error_type="RecursionError", statement=sql)
+        rendered = [[render_value(value, self.render_style) for value in row] for row in result.rows]
+        return ExecutionOutcome(
+            status=ExecutionStatus.OK,
+            columns=result.columns if result.is_query else [],
+            rows=result.rows,
+            rendered=rendered,
+            statement=sql,
+        )

@@ -1,0 +1,47 @@
+"""Adapter registry: create adapters by name.
+
+``create_adapter("sqlite")`` returns the real ``sqlite3`` adapter;
+``"sqlite-mini"``, ``"postgres"``, ``"duckdb"``, and ``"mysql"`` return MiniDB
+emulations with the corresponding dialect profile.  New adapters (the paper's
+"Supporting a new DBMS" scenario) register themselves with
+:func:`register_adapter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adapters.base import DBMSAdapter
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters.sqlite_adapter import SQLite3Adapter
+from repro.errors import AdapterNotFoundError
+
+_FACTORIES: dict[str, Callable[..., DBMSAdapter]] = {}
+
+
+def register_adapter(name: str, factory: Callable[..., DBMSAdapter]) -> None:
+    """Register ``factory`` under ``name`` (lowercase)."""
+    _FACTORIES[name.lower()] = factory
+
+
+def available_adapters() -> list[str]:
+    """Names of all registered adapters."""
+    return sorted(_FACTORIES)
+
+
+def create_adapter(name: str, **kwargs) -> DBMSAdapter:
+    """Instantiate (but do not connect) the adapter registered under ``name``."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise AdapterNotFoundError(f"no adapter named {name!r}; available: {available_adapters()}") from None
+    return factory(**kwargs)
+
+
+register_adapter("sqlite", lambda **kwargs: SQLite3Adapter(**kwargs))
+register_adapter("sqlite3", lambda **kwargs: SQLite3Adapter(**kwargs))
+register_adapter("sqlite-mini", lambda **kwargs: MiniDBAdapter("sqlite", **kwargs))
+register_adapter("postgres", lambda **kwargs: MiniDBAdapter("postgres", **kwargs))
+register_adapter("postgresql", lambda **kwargs: MiniDBAdapter("postgres", **kwargs))
+register_adapter("duckdb", lambda **kwargs: MiniDBAdapter("duckdb", **kwargs))
+register_adapter("mysql", lambda **kwargs: MiniDBAdapter("mysql", **kwargs))

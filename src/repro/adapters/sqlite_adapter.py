@@ -1,0 +1,92 @@
+"""Adapter backed by the real SQLite engine (Python's ``sqlite3`` module).
+
+This is the one genuine DBMS available in the offline environment; executing
+the SLT-style corpora on it exercises the same code path the paper's SQuaLity
+used for SQLite (a Python connector to a real engine).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any
+
+from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
+from repro.dialects.sqlite import SQLITE
+from repro.engine.values import render_value
+
+
+class SQLite3Adapter(DBMSAdapter):
+    """Executes statements on an in-memory ``sqlite3`` database."""
+
+    name = "sqlite3"
+    dialect = SQLITE
+
+    def __init__(self, timeout_seconds: float = 5.0, render_style: str = "python"):
+        self.timeout_seconds = timeout_seconds
+        self.render_style = render_style
+        self.connection: sqlite3.Connection | None = None
+
+    def connect(self) -> None:
+        self.connection = sqlite3.connect(":memory:")
+        self.connection.isolation_level = None  # autocommit; BEGIN/COMMIT pass through
+        # Interrupt very long statements so hang-inducing queries surface as
+        # HANG outcomes instead of blocking the whole run.
+        self.connection.set_progress_handler(self._make_progress_guard(), 1_000_000)
+        self._interrupted = False
+
+    def _make_progress_guard(self):
+        import time
+
+        started = {"at": time.monotonic()}
+
+        def guard() -> int:
+            if time.monotonic() - started["at"] > self.timeout_seconds:
+                self._interrupted = True
+                return 1  # non-zero interrupts the statement
+            return 0
+
+        self._progress_started = started
+        return guard
+
+    def reset(self) -> None:
+        self.close()
+        self.connect()
+
+    def close(self) -> None:
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+
+    def execute(self, sql: str) -> ExecutionOutcome:
+        if self.connection is None:
+            self.connect()
+        assert self.connection is not None
+        import time
+
+        self._interrupted = False
+        self._progress_started["at"] = time.monotonic()
+        cursor = self.connection.cursor()
+        try:
+            cursor.execute(sql)
+        except sqlite3.OperationalError as error:
+            if self._interrupted or "interrupted" in str(error).lower():
+                return ExecutionOutcome(status=ExecutionStatus.HANG, error=f"statement exceeded {self.timeout_seconds}s", error_type="Timeout", statement=sql)
+            return ExecutionOutcome(status=ExecutionStatus.ERROR, error=str(error), error_type="OperationalError", statement=sql)
+        except sqlite3.DatabaseError as error:
+            return ExecutionOutcome(status=ExecutionStatus.ERROR, error=str(error), error_type=type(error).__name__, statement=sql)
+        except (OverflowError, ValueError) as error:
+            return ExecutionOutcome(status=ExecutionStatus.ERROR, error=str(error), error_type=type(error).__name__, statement=sql)
+
+        if cursor.description is None:
+            return ExecutionOutcome(status=ExecutionStatus.OK, statement=sql)
+        columns = [entry[0] for entry in cursor.description]
+        raw_rows = cursor.fetchall()
+        rows: list[list[Any]] = [list(row) for row in raw_rows]
+        rendered = [[render_value(value, self.render_style) for value in row] for row in rows]
+        return ExecutionOutcome(
+            status=ExecutionStatus.OK,
+            columns=columns,
+            rows=rows,
+            rendered=rendered,
+            statement=sql,
+        )

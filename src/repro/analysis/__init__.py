@@ -1,0 +1,28 @@
+"""RQ1/RQ2 analyses over parsed test corpora.
+
+These modules take :class:`~repro.core.records.TestSuite` objects (parsed from
+native formats) and compute the statistics the paper reports:
+
+* :mod:`repro.analysis.features` — the RQ1 runner-feature census (Table 2),
+* :mod:`repro.analysis.filesize` — lines of code per test file (Figure 1),
+* :mod:`repro.analysis.statements` — statement-type distribution and standard
+  compliance (Figure 2, Table 3),
+* :mod:`repro.analysis.predicates` — WHERE-predicate complexity and join usage
+  (Figure 3).
+"""
+
+from repro.analysis.features import runner_feature_matrix, count_runner_commands
+from repro.analysis.filesize import file_size_distribution, size_summary
+from repro.analysis.statements import statement_type_distribution, standard_compliance
+from repro.analysis.predicates import predicate_distribution, join_usage
+
+__all__ = [
+    "runner_feature_matrix",
+    "count_runner_commands",
+    "file_size_distribution",
+    "size_summary",
+    "statement_type_distribution",
+    "standard_compliance",
+    "predicate_distribution",
+    "join_usage",
+]

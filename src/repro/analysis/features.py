@@ -1,0 +1,95 @@
+"""RQ1: test-runner feature census (Table 2).
+
+Two complementary views are provided:
+
+* :func:`runner_feature_matrix` returns the paper's Table 2 — the feature
+  families each suite's *native* runner supports and the number of unique
+  runner/CLI commands — sourced from the studied runners' documentation
+  (recorded in :mod:`repro.corpus.profiles`).
+* :func:`count_runner_commands` measures the same quantities empirically on a
+  parsed corpus: which non-SQL commands actually occur in the test files and
+  how many distinct ones there are.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.records import ControlRecord, TestSuite
+from repro.corpus.profiles import TABLE2_RUNNER_FEATURES
+
+#: Mapping from concrete command names to the Table 2 feature families.
+FEATURE_FAMILIES = {
+    "include": "Include",
+    "source": "Include",
+    "set": "Set Variable",
+    "let": "Set Variable",
+    "pset": "Set Variable",
+    "load": "Load",
+    "copy": "Load",
+    "loop": "Loop",
+    "endloop": "Loop",
+    "foreach": "Loop",
+    "while": "Loop",
+    "skipif": "Skiptest",
+    "onlyif": "Skiptest",
+    "mode": "Skiptest",
+    "require": "Skiptest",
+    "connect": "Multi-Connections",
+    "connection": "Multi-Connections",
+    "disconnect": "Multi-Connections",
+}
+
+
+def runner_feature_matrix() -> dict[str, dict]:
+    """Table 2 as documented for the native runners (suite -> feature map)."""
+    return {suite: dict(features) for suite, features in TABLE2_RUNNER_FEATURES.items()}
+
+
+def count_runner_commands(suite: TestSuite) -> dict:
+    """Empirically census the non-SQL commands of a parsed corpus.
+
+    Returns the distinct command names, their occurrence counts, the number of
+    distinct commands, and which Table 2 feature families they cover.
+    """
+    counts: Counter[str] = Counter()
+    families: set[str] = set()
+    cli_commands: set[str] = set()
+    for test_file in suite.files:
+        for record in test_file.records:
+            if not isinstance(record, ControlRecord):
+                if record.conditions:
+                    counts.update(condition.kind for condition in record.conditions)
+                    families.add("Skiptest")
+                continue
+            command = record.command.lower()
+            counts[command] += 1
+            if command.startswith("psql:"):
+                cli_commands.add(command[5:])
+                continue
+            family = FEATURE_FAMILIES.get(command)
+            if family:
+                families.add(family)
+    return {
+        "suite": suite.name,
+        "distinct_commands": len([name for name in counts if not name.startswith("psql:")]),
+        "distinct_cli_commands": len(cli_commands),
+        "command_counts": dict(counts),
+        "feature_families": sorted(families),
+    }
+
+
+def feature_support_row(suite_name: str) -> dict:
+    """One row of Table 2 for ``suite_name`` with human-readable values."""
+    documented = TABLE2_RUNNER_FEATURES[suite_name]
+    row = {
+        "Include": "yes" if documented["include"] else "-",
+        "Set Variable": "yes" if documented["set_variable"] else "-",
+        "Load": "yes" if documented["load"] else "-",
+        "Loop": "yes" if documented["loop"] else "-",
+        "Skiptest": "yes" if documented["skiptest"] else "-",
+        "Multi-Connections": "yes" if documented["multi_connections"] else "-",
+        "CLI Commands": documented["cli_commands"] or "-",
+        "Runner Commands": documented["runner_commands"] or "-",
+    }
+    return row

@@ -1,0 +1,60 @@
+"""Figure 1: lines of code per test file of each DBMS's suite."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.records import TestSuite
+
+
+@dataclass
+class SizeSummary:
+    """Summary statistics of the per-file line counts of one suite."""
+
+    suite: str
+    file_count: int
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    geometric_mean: float
+
+    def as_row(self) -> list:
+        return [self.suite, self.file_count, self.minimum, int(self.median), int(self.mean), self.maximum]
+
+
+def file_size_distribution(suite: TestSuite) -> list[int]:
+    """Lines of code of every test file in the suite (Figure 1's raw data)."""
+    return [test_file.source_lines for test_file in suite.files]
+
+
+def size_summary(suite: TestSuite) -> SizeSummary:
+    """Summary statistics of the Figure 1 distribution for one suite."""
+    sizes = sorted(file_size_distribution(suite)) or [0]
+    count = len(sizes)
+    mean = sum(sizes) / count
+    median = sizes[count // 2] if count % 2 == 1 else (sizes[count // 2 - 1] + sizes[count // 2]) / 2
+    positive = [size for size in sizes if size > 0] or [1]
+    geometric = math.exp(sum(math.log(size) for size in positive) / len(positive))
+    return SizeSummary(
+        suite=suite.name,
+        file_count=count,
+        minimum=sizes[0],
+        maximum=sizes[-1],
+        mean=mean,
+        median=median,
+        geometric_mean=geometric,
+    )
+
+
+def log_histogram(sizes: list[int], bucket_count: int = 6) -> dict[str, int]:
+    """Bucket sizes into powers of ten (the log-scale axis of Figure 1)."""
+    histogram: dict[str, int] = {}
+    for exponent in range(1, bucket_count + 1):
+        low = 10 ** (exponent - 1)
+        high = 10 ** exponent
+        label = f"{low}-{high}"
+        histogram[label] = sum(1 for size in sizes if low <= size < high)
+    histogram[f">{10 ** bucket_count}"] = sum(1 for size in sizes if size >= 10 ** bucket_count)
+    return histogram

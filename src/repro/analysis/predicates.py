@@ -1,0 +1,81 @@
+"""RQ2: WHERE-predicate complexity and join usage (Figure 3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.records import ControlRecord, TestSuite
+from repro.sqlparser.analyzer import JoinKind, PREDICATE_BUCKETS, analyze_select, predicate_bucket, where_token_count
+from repro.sqlparser.statements import statement_type
+
+
+def _select_statements(suite: TestSuite) -> list[str]:
+    selects = []
+    for test_file in suite.files:
+        for record in test_file.records:
+            if isinstance(record, ControlRecord):
+                continue
+            sql = getattr(record, "sql", "")
+            if statement_type(sql) == "SELECT":
+                selects.append(sql)
+    return selects
+
+
+def predicate_distribution(suite: TestSuite) -> dict[str, float]:
+    """Share of SELECTs per WHERE-token bucket (Figure 3)."""
+    counts: Counter[str] = Counter()
+    selects = _select_statements(suite)
+    for sql in selects:
+        counts[predicate_bucket(where_token_count(sql))] += 1
+    total = len(selects) or 1
+    return {bucket: counts.get(bucket, 0) / total for bucket in PREDICATE_BUCKETS}
+
+
+@dataclass
+class JoinUsage:
+    """Join-complexity summary of one suite's SELECT statements."""
+
+    suite: str
+    total_selects: int
+    with_any_join: int
+    implicit_joins: int
+    inner_joins: int
+    outer_joins: int
+
+    @property
+    def join_share(self) -> float:
+        return self.with_any_join / self.total_selects if self.total_selects else 0.0
+
+    @property
+    def implicit_share(self) -> float:
+        return self.implicit_joins / self.total_selects if self.total_selects else 0.0
+
+    @property
+    def inner_share(self) -> float:
+        return self.inner_joins / self.total_selects if self.total_selects else 0.0
+
+
+def join_usage(suite: TestSuite) -> JoinUsage:
+    """Join usage statistics reported alongside Figure 3 (Section 4)."""
+    selects = _select_statements(suite)
+    with_join = implicit = inner = outer = 0
+    for sql in selects:
+        shape = analyze_select(sql)
+        if not shape.has_join:
+            continue
+        with_join += 1
+        if shape.join_kind is JoinKind.IMPLICIT:
+            implicit += 1
+        elif shape.join_kind is JoinKind.INNER:
+            inner += 1
+        else:
+            outer += 1
+    return JoinUsage(
+        suite=suite.name,
+        total_selects=len(selects),
+        with_any_join=with_join,
+        implicit_joins=implicit,
+        inner_joins=inner,
+        outer_joins=outer,
+    )

@@ -1,0 +1,176 @@
+"""Runner-command semantics: the non-SQL commands SQuaLity interprets.
+
+The paper's RQ1 catalogue distinguishes four feature families (Table 2):
+environmental settings (*Include*, *Set Variable*, *Load*), execution-flow
+control (*Loop*, *Skiptest*), multi-connection support, and client/CLI
+commands.  SQuaLity interprets the commonly-used subset and records — but
+deliberately does not execute — the rest (psql meta-commands, MySQL file/shell
+operations), mirroring the paper's implementation decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.records import ControlRecord
+
+#: Commands the unified runner interprets.
+INTERPRETED_COMMANDS = frozenset(
+    {
+        "halt",
+        "hash-threshold",
+        "skipif",
+        "onlyif",
+        "mode",
+        "require",
+        "load",
+        "loop",
+        "endloop",
+        "set",
+        "let",
+        "sleep",
+        "restart",
+        "reconnect",
+        "include",
+        "source",
+        "disable_warnings",
+        "enable_warnings",
+        "disable_query_log",
+        "enable_query_log",
+        "disable_result_log",
+        "enable_result_log",
+        "echo",
+        "error",
+    }
+)
+
+#: Commands we recognise but treat as unsupported environment interactions
+#: (file operations, shell access, server control) — executing them would tie
+#: the runner to one environment, the exact reuse obstacle RQ3 documents.
+ENVIRONMENT_COMMANDS = frozenset(
+    {
+        "exec",
+        "system",
+        "write_file",
+        "append_file",
+        "remove_file",
+        "copy_file",
+        "chmod",
+        "mkdir",
+        "rmdir",
+        "shutdown_server",
+        "restart_server",
+        "wait_for_slave_to_stop",
+        "perl",
+        "cat_file",
+        "list_files",
+        "move_file",
+        "change_user",
+        "connect",
+        "connection",
+        "disconnect",
+    }
+)
+
+
+@dataclass
+class RunnerState:
+    """Mutable state carried across the records of one test file."""
+
+    host: str
+    available_extensions: set[str] = field(default_factory=set)
+    variables: dict[str, str] = field(default_factory=dict)
+    halted: bool = False
+    skipping: bool = False           # ``mode skip`` .. ``mode unskip``
+    prefiltered: bool = False        # an unmet ``require`` halts the rest of the file
+    hash_threshold: int = 8
+    statements_skipped: int = 0
+
+    def substitute(self, sql: str) -> str:
+        """Replace ``$var`` / ``${var}`` occurrences with bound variables."""
+        for name, value in self.variables.items():
+            sql = sql.replace("${" + name + "}", value).replace("$" + name, value)
+        return sql
+
+
+@dataclass
+class CommandEffect:
+    """What interpreting one control record did."""
+
+    handled: bool = True
+    skip_rest_of_file: bool = False
+    reset_connection: bool = False
+    note: str = ""
+
+
+def apply_control_record(record: ControlRecord, state: RunnerState) -> CommandEffect:
+    """Interpret one control record, updating ``state`` in place."""
+    command = record.command.lower()
+
+    if command == "halt":
+        state.halted = True
+        return CommandEffect(skip_rest_of_file=True, note="halt")
+
+    if command in ("hash-threshold",):
+        if record.arguments:
+            try:
+                state.hash_threshold = int(record.arguments[0])
+            except ValueError:
+                pass
+        return CommandEffect()
+
+    if command == "mode":
+        argument = record.arguments[0].lower() if record.arguments else ""
+        if argument == "skip":
+            state.skipping = True
+        elif argument == "unskip":
+            state.skipping = False
+        return CommandEffect()
+
+    if command == "require":
+        required = record.arguments[0].lower() if record.arguments else ""
+        if required and required not in state.available_extensions:
+            state.prefiltered = True
+            return CommandEffect(skip_rest_of_file=True, note=f"extension {required!r} not loaded")
+        return CommandEffect()
+
+    if command in ("load",):
+        # Loading external data files depends on the developer's environment
+        # (RQ3 "File Paths"); the unified runner skips them.
+        return CommandEffect(note="load skipped: no external data available")
+
+    if command in ("set", "let"):
+        if record.arguments:
+            text = " ".join(record.arguments)
+            if "=" in text:
+                name, _, value = text.partition("=")
+                state.variables[name.strip().lstrip("$")] = value.strip().strip("'\"")
+        return CommandEffect()
+
+    if command in ("sleep",):
+        return CommandEffect(note="sleep elided")
+
+    if command in ("restart", "reconnect"):
+        return CommandEffect(reset_connection=True)
+
+    if command in ("include", "source"):
+        # Includes refer to files shared inside the donor's source tree; they
+        # are unavailable once test cases are transplanted (RQ3).
+        return CommandEffect(note="include skipped: referenced file not transplanted")
+
+    if command.startswith("psql:"):
+        # psql meta-commands are executed by the CLI client, not the runner
+        # (Section 3); SQuaLity records them without interpreting them.
+        return CommandEffect(handled=False, note=f"psql meta-command {command[5:]!r} not interpreted")
+
+    if command in ENVIRONMENT_COMMANDS:
+        return CommandEffect(handled=False, note=f"environment command {command!r} not interpreted")
+
+    if command in ("loop", "endloop", "foreach", "endfor"):
+        # Loops are expanded at parse time by the DuckDB parser.
+        return CommandEffect()
+
+    if command in INTERPRETED_COMMANDS:
+        return CommandEffect()
+
+    return CommandEffect(handled=False, note=f"unknown runner command {command!r}")

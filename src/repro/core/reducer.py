@@ -1,0 +1,94 @@
+"""Delta-debugging test-case reduction.
+
+The paper reduces every failure-inducing test case before reporting it
+(Section 2, "RQ4 Failure investigation", citing Zeller & Hildebrandt's ddmin).
+:func:`reduce_statements` implements ddmin over a list of SQL statements: it
+finds a (1-minimal) subsequence that still triggers the failure predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.adapters.base import DBMSAdapter, ExecutionStatus
+
+#: A predicate deciding whether a candidate statement list still "fails".
+FailurePredicate = Callable[[list[str]], bool]
+
+
+def reduce_statements(statements: Sequence[str], still_fails: FailurePredicate, max_rounds: int = 64) -> list[str]:
+    """Return a minimal sub-list of ``statements`` for which ``still_fails`` holds.
+
+    Classic ddmin: try removing chunks at decreasing granularity until no
+    single removable chunk remains.  ``still_fails`` must be True for the full
+    input; otherwise the input is returned unchanged.
+    """
+    current = list(statements)
+    if not still_fails(current):
+        return current
+
+    granularity = 2
+    rounds = 0
+    while len(current) >= 2 and rounds < max_rounds:
+        rounds += 1
+        chunk_size = max(1, len(current) // granularity)
+        chunks = [current[i : i + chunk_size] for i in range(0, len(current), chunk_size)]
+
+        reduced = False
+        # try each complement (remove one chunk)
+        for index in range(len(chunks)):
+            candidate = [statement for position, chunk in enumerate(chunks) if position != index for statement in chunk]
+            if candidate and still_fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity >= len(current):
+            break
+        granularity = min(len(current), granularity * 2)
+    return current
+
+
+def make_crash_predicate(adapter_factory: Callable[[], DBMSAdapter]) -> FailurePredicate:
+    """Build a predicate: "executing these statements crashes or hangs the DBMS".
+
+    A fresh adapter is created per candidate so earlier attempts cannot leak
+    state into later ones (each reduction probe starts from a clean database,
+    as the paper's methodology requires).
+    """
+
+    def predicate(statements: list[str]) -> bool:
+        adapter = adapter_factory()
+        adapter.connect()
+        try:
+            for statement in statements:
+                outcome = adapter.execute(statement)
+                if outcome.status in (ExecutionStatus.CRASH, ExecutionStatus.HANG):
+                    return True
+            return False
+        finally:
+            adapter.close()
+
+    return predicate
+
+
+def make_error_predicate(adapter_factory: Callable[[], DBMSAdapter], message_fragment: str) -> FailurePredicate:
+    """Build a predicate matching a specific error-message fragment."""
+
+    fragment = message_fragment.lower()
+
+    def predicate(statements: list[str]) -> bool:
+        adapter = adapter_factory()
+        adapter.connect()
+        try:
+            for statement in statements:
+                outcome = adapter.execute(statement)
+                if fragment in (outcome.error or "").lower():
+                    return True
+            return False
+        finally:
+            adapter.close()
+
+    return predicate

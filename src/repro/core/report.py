@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment outputs (tables and heatmaps).
+
+The benchmark harness prints the same rows/series the paper reports; this
+module keeps the formatting in one place so every experiment and benchmark
+renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
+    """Render an ASCII table with left-aligned first column and right-aligned numbers."""
+    columns = len(headers)
+    normalized_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in normalized_rows:
+        for index in range(columns):
+            if index < len(row):
+                widths[index] = max(widths[index], len(row[index]))
+
+    def render_row(cells: Sequence[str]) -> str:
+        rendered = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                rendered.append(str(cell).ljust(widths[index]))
+            else:
+                rendered.append(str(cell).rjust(widths[index]))
+        return "  ".join(rendered)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(header) for header in headers]))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in normalized_rows:
+        padded = list(row) + [""] * (columns - len(row))
+        lines.append(render_row(padded))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_percentage(value: float, decimals: int = 2) -> str:
+    """Format a ratio as a percentage string (``0.5145`` -> ``"51.45%"``)."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def format_heatmap(row_labels: Sequence[str], column_labels: Sequence[str], values: dict[tuple[str, str], float], title: str | None = None) -> str:
+    """Render the Figure 4 success-rate heatmap as a text matrix."""
+    headers = ["Test Suite \\ Engine"] + list(column_labels)
+    rows = []
+    for row_label in row_labels:
+        row: list[Any] = [row_label]
+        for column_label in column_labels:
+            value = values.get((row_label, column_label))
+            row.append(format_percentage(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_distribution(distribution: dict[str, float], title: str | None = None, sort_desc: bool = True) -> str:
+    """Render a label -> share mapping as a two-column table."""
+    items = sorted(distribution.items(), key=lambda pair: -pair[1]) if sort_desc else list(distribution.items())
+    rows = [[label, format_percentage(share)] for label, share in items]
+    return format_table(["Category", "Share"], rows, title=title)

@@ -1,0 +1,73 @@
+"""Loading native-format test files and suites into the unified IR."""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.core.parser_duckdb import parse_duckdb_file, parse_duckdb_text
+from repro.core.parser_mysql import parse_mysql_file, parse_mysql_text
+from repro.core.parser_postgres import parse_postgres_file, parse_postgres_text
+from repro.core.parser_slt import parse_slt_file, parse_slt_text
+from repro.core.records import TestFile, TestSuite
+from repro.errors import TestFormatError
+
+#: suite name -> (file parser, text parser, file extensions)
+_FORMATS: dict[str, tuple[Callable[..., TestFile], Callable[..., TestFile], tuple[str, ...]]] = {
+    "slt": (parse_slt_file, parse_slt_text, (".test", ".slt")),
+    "sqlite": (parse_slt_file, parse_slt_text, (".test", ".slt")),
+    "duckdb": (parse_duckdb_file, parse_duckdb_text, (".test", ".test_slow")),
+    "postgres": (parse_postgres_file, parse_postgres_text, (".sql",)),
+    "postgresql": (parse_postgres_file, parse_postgres_text, (".sql",)),
+    "mysql": (parse_mysql_file, parse_mysql_text, (".test",)),
+}
+
+
+def supported_formats() -> list[str]:
+    """Names of the test-suite formats SQuaLity can parse."""
+    return sorted(set(_FORMATS))
+
+
+def parse_test_file(path: str, suite_format: str) -> TestFile:
+    """Parse the test file at ``path`` using the named native format."""
+    try:
+        file_parser, _, _ = _FORMATS[suite_format.lower()]
+    except KeyError:
+        raise TestFormatError(f"unknown test-suite format: {suite_format!r}; known: {supported_formats()}") from None
+    return file_parser(path)
+
+
+def parse_test_text(text: str, suite_format: str, path: str = "<memory>", **kwargs) -> TestFile:
+    """Parse in-memory test text using the named native format."""
+    try:
+        _, text_parser, _ = _FORMATS[suite_format.lower()]
+    except KeyError:
+        raise TestFormatError(f"unknown test-suite format: {suite_format!r}; known: {supported_formats()}") from None
+    return text_parser(text, path=path, **kwargs)
+
+
+def load_suite(directory: str, suite_format: str, name: str | None = None, limit: int | None = None) -> TestSuite:
+    """Load every test file under ``directory`` in the given native format.
+
+    ``limit`` truncates the suite (useful for benchmark warm-ups).  Expected
+    output files (``.out`` / ``.result``) are paired automatically by the
+    per-format parsers and are not loaded as test files themselves.
+    """
+    try:
+        _, _, extensions = _FORMATS[suite_format.lower()]
+    except KeyError:
+        raise TestFormatError(f"unknown test-suite format: {suite_format!r}; known: {supported_formats()}") from None
+    suite = TestSuite(name=name or suite_format)
+    paths: list[str] = []
+    for root, _dirs, files in os.walk(directory):
+        if os.path.basename(root) in ("expected", "r"):
+            continue  # output directories of the PostgreSQL / MySQL layouts
+        for filename in sorted(files):
+            if filename.endswith(extensions):
+                paths.append(os.path.join(root, filename))
+    paths.sort()
+    if limit is not None:
+        paths = paths[:limit]
+    for path in paths:
+        suite.files.append(parse_test_file(path, suite_format))
+    return suite

@@ -1,0 +1,166 @@
+"""Workload building blocks for the synthetic corpus generators.
+
+A :class:`SchemaState` tracks the tables a generated test file has created so
+far, so that generated INSERT/SELECT/UPDATE statements reference real tables
+and columns — the implicit inter-statement dependencies the paper highlights
+as characteristic of DBMS test files.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Column types common to all four dialects (generated CREATE TABLEs draw from
+#: these unless a dialect-specific template asks for exotic types).
+COMMON_COLUMN_TYPES = ("INTEGER", "INTEGER", "INTEGER", "VARCHAR(30)", "REAL")
+
+_WORDS = (
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel",
+    "india", "juliet", "kilo", "lima", "mike", "november", "oscar", "papa",
+)
+
+
+@dataclass
+class TableSpec:
+    """One generated table: name plus (column name, declared type) pairs."""
+
+    name: str
+    columns: list[tuple[str, str]] = field(default_factory=list)
+    row_count: int = 0
+
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def integer_columns(self) -> list[str]:
+        return [name for name, type_name in self.columns if type_name.upper().startswith(("INT", "SMALL", "BIG"))]
+
+    def text_columns(self) -> list[str]:
+        return [name for name, type_name in self.columns if type_name.upper().startswith(("VARCHAR", "TEXT", "CHAR"))]
+
+
+@dataclass
+class SchemaState:
+    """Tables created so far inside one generated test file."""
+
+    tables: list[TableSpec] = field(default_factory=list)
+    next_table_id: int = 1
+
+    def new_table_name(self) -> str:
+        name = f"t{self.next_table_id}"
+        self.next_table_id += 1
+        return name
+
+    def random_table(self, rng: random.Random) -> TableSpec | None:
+        populated = [table for table in self.tables if table.row_count > 0]
+        pool = populated or self.tables
+        return rng.choice(pool) if pool else None
+
+    def add(self, table: TableSpec) -> None:
+        self.tables.append(table)
+
+    def remove(self, name: str) -> None:
+        self.tables = [table for table in self.tables if table.name != name]
+
+
+def make_table(state: SchemaState, rng: random.Random, column_count: int | None = None, types: tuple[str, ...] = COMMON_COLUMN_TYPES) -> TableSpec:
+    """Create a new table spec (not yet registered) with 2-5 columns."""
+    count = column_count or rng.randint(2, 5)
+    name = state.new_table_name()
+    columns = []
+    for index in range(count):
+        columns.append((f"c{index}" if index else "a", rng.choice(types)))
+    # keep the SLT-style a/b/c naming for the first three columns
+    letters = ["a", "b", "c", "d", "e", "f", "g"]
+    columns = [(letters[index] if index < len(letters) else f"c{index}", type_name) for index, (_, type_name) in enumerate(columns)]
+    return TableSpec(name=name, columns=columns)
+
+
+def render_create_table(table: TableSpec) -> str:
+    columns_sql = ", ".join(f"{name} {type_name}" for name, type_name in table.columns)
+    return f"CREATE TABLE {table.name}({columns_sql})"
+
+
+def literal_for(type_name: str, rng: random.Random) -> str:
+    """A literal value matching the declared column type."""
+    upper = type_name.upper()
+    if upper.startswith(("INT", "SMALL", "BIG", "TINY")):
+        return str(rng.randint(-100, 500))
+    if upper.startswith(("REAL", "FLOAT", "DOUBLE", "NUMERIC", "DECIMAL")):
+        return f"{rng.uniform(-100, 100):.2f}"
+    if upper.startswith("BOOL"):
+        return rng.choice(("TRUE", "FALSE"))
+    return "'" + rng.choice(_WORDS) + str(rng.randint(0, 99)) + "'"
+
+
+def render_insert(table: TableSpec, rng: random.Random, row_count: int | None = None) -> str:
+    rows = row_count or rng.randint(1, 5)
+    tuples = []
+    for _ in range(rows):
+        values = ", ".join(literal_for(type_name, rng) for _, type_name in table.columns)
+        tuples.append(f"({values})")
+    table.row_count += rows
+    return f"INSERT INTO {table.name} VALUES " + ", ".join(tuples)
+
+
+def render_predicate(table: TableSpec, rng: random.Random, bucket: str) -> str:
+    """A WHERE predicate whose significant-token count falls in ``bucket``.
+
+    Buckets follow Figure 3: ``1-2``, ``3-10``, ``11-100``, ``100+`` tokens.
+    """
+    columns = table.column_names()
+    int_columns = table.integer_columns() or columns
+
+    def simple_term() -> str:
+        column = rng.choice(int_columns)
+        operator = rng.choice((">", "<", ">=", "<=", "=", "<>"))
+        return f"{column} {operator} {rng.randint(-10, 200)}"
+
+    if bucket == "1-2":
+        return rng.choice(int_columns)  # e.g. WHERE a  (truthiness predicate)
+    if bucket == "3-10":
+        terms = [simple_term() for _ in range(rng.randint(1, 2))]
+        return " AND ".join(terms)
+    if bucket == "11-100":
+        terms = [simple_term() for _ in range(rng.randint(4, 12))]
+        connector = rng.choice((" AND ", " OR "))
+        return connector.join(terms)
+    # 100+ tokens: a long IN list plus many disjuncts
+    column = rng.choice(int_columns)
+    in_list = ", ".join(str(rng.randint(0, 999)) for _ in range(40))
+    terms = [simple_term() for _ in range(12)]
+    return f"{column} IN ({in_list}) OR " + " OR ".join(terms)
+
+
+def choose_bucket(rng: random.Random, buckets: dict[str, float]) -> str:
+    """Weighted choice over the WHERE-token buckets of a profile."""
+    names = list(buckets)
+    weights = [buckets[name] for name in names]
+    return rng.choices(names, weights=weights, k=1)[0]
+
+
+def constant_expression(rng: random.Random) -> str:
+    """A constant scalar expression for no-FROM SELECTs (function/operator tests)."""
+    choices = (
+        lambda: f"{rng.randint(1, 200)} + {rng.randint(1, 200)}",
+        lambda: f"{rng.randint(1, 200)} * {rng.randint(1, 9)}",
+        lambda: f"abs({rng.randint(-500, -1)})",
+        lambda: f"length('{rng.choice(_WORDS)}')",
+        lambda: f"upper('{rng.choice(_WORDS)}')",
+        lambda: f"lower('{rng.choice(_WORDS).upper()}')",
+        lambda: f"coalesce(NULL, {rng.randint(1, 99)})",
+        lambda: f"nullif({rng.randint(1, 5)}, {rng.randint(1, 5)})",
+        lambda: f"round({rng.uniform(0, 100):.3f}, 1)",
+        lambda: f"'{rng.choice(_WORDS)}' || '{rng.choice(_WORDS)}'",
+        lambda: f"CASE WHEN {rng.randint(0, 1)} = 1 THEN 'one' ELSE 'other' END",
+        lambda: f"replace('{rng.choice(_WORDS)}', 'a', 'o')",
+        lambda: f"substr('{rng.choice(_WORDS)}', 1, 3)",
+    )
+    return rng.choice(choices)()
+
+
+def division_expression(rng: random.Random) -> str:
+    """An integer-division expression (the paper's biggest semantic divider)."""
+    numerator = rng.randint(10, 500)
+    denominator = rng.choice((2, 3, 4, 5, -2, -3))
+    return f"{numerator} / {denominator}"

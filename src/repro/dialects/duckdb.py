@@ -1,0 +1,197 @@
+"""Dialect profile for DuckDB (version 0.8.1 as studied by the paper)."""
+
+from __future__ import annotations
+
+from repro.dialects.base import (
+    CORE_FUNCTIONS,
+    CORE_TYPES,
+    DialectProfile,
+    DivisionSemantics,
+    FaultSignature,
+    NullOrder,
+    register_dialect,
+)
+
+#: DuckDB aims to be largely PostgreSQL-compatible, so it provides many pg_*
+#: functions, plus its own "friendly SQL" additions such as ``range``.
+_DUCKDB_FUNCTIONS = CORE_FUNCTIONS | frozenset(
+    {
+        "range",
+        "generate_series",
+        "pg_typeof",
+        "typeof",
+        "has_column_privilege",
+        "current_database",
+        "current_schema",
+        "version",
+        "list_value",
+        "list_extract",
+        "list_contains",
+        "array_agg",
+        "string_agg",
+        "struct_pack",
+        "struct_extract",
+        "unnest",
+        "regexp_replace",
+        "regexp_matches",
+        "split_part",
+        "date_trunc",
+        "date_part",
+        "extract",
+        "now",
+        "strftime",
+        "median",
+        "quantile",
+        "quantile_cont",
+        "quantile_disc",
+        "mode",
+        "approx_count_distinct",
+        "concat",
+        "concat_ws",
+        "left",
+        "right",
+        "lpad",
+        "rpad",
+        "printf",
+        "format",
+        "hash",
+        "random",
+        "setseed",
+        "exp",
+        "ln",
+        "log",
+        "sign",
+        "trunc",
+        "greatest",
+        "least",
+        "iif",
+        "to_json",
+        "json_extract",
+        "row_number",
+        "rank",
+        "dense_rank",
+        "lag",
+        "lead",
+        "first_value",
+        "last_value",
+        "group_concat",
+        "stddev",
+        "stddev_pop",
+        "stddev_samp",
+        "var_pop",
+        "var_samp",
+    }
+)
+
+#: DuckDB configuration options set via SET or PRAGMA in its test suite.
+_DUCKDB_SETTINGS = frozenset(
+    {
+        "explain_output",
+        "default_null_order",
+        "default_order",
+        "threads",
+        "memory_limit",
+        "enable_progress_bar",
+        "enable_profiling",
+        "profiling_output",
+        "temp_directory",
+        "enable_object_cache",
+        "preserve_insertion_order",
+        "checkpoint_threshold",
+        "force_compression",
+        "enable_verification",
+        "verify_parallelism",
+        "integer_division",
+        "seed",
+    }
+)
+
+_DUCKDB_TYPES = CORE_TYPES | frozenset(
+    {
+        "TINYINT",
+        "UTINYINT",
+        "USMALLINT",
+        "UINTEGER",
+        "UBIGINT",
+        "HUGEINT",
+        "UUID",
+        "BLOB",
+        "INTERVAL",
+        "TIME",
+        "TIMESTAMPTZ",
+        "LIST",
+        "STRUCT",
+        "MAP",
+        "UNION",
+        "ENUM",
+        "JSON",
+    }
+)
+
+DUCKDB = register_dialect(
+    DialectProfile(
+        name="duckdb",
+        display_name="DuckDB",
+        # DuckDB's ``/`` performs decimal division even on integers; this single
+        # difference accounts for all 104K semantic failures of SLT on DuckDB.
+        division=DivisionSemantics.DECIMAL,
+        supports_div_operator=True,
+        supports_double_colon_cast=True,
+        pipes_as_concat=True,
+        allows_string_plus_integer=False,
+        strict_types=True,
+        requires_varchar_length=False,
+        supports_pragma=True,
+        ignores_unknown_pragma=False,
+        supports_set=True,
+        rejects_unknown_setting=True,
+        supports_start_transaction=True,
+        coalesce_promotes=True,
+        # Listing 17: DuckDB deliberately deviates from PostgreSQL and returns
+        # TRUE for (NULL, 0) > (0, 0).
+        row_value_null_comparison="true",
+        null_order=NullOrder.NULLS_LAST,
+        boolean_accepts_integers=True,
+        # "Friendly SQL": DuckDB refuses to restrict recursive CTEs, so the
+        # unconstrained query of Listing 15 loops forever (reported as a hang).
+        limits_recursive_cte=False,
+        functions=_DUCKDB_FUNCTIONS,
+        settings=_DUCKDB_SETTINGS,
+        types=_DUCKDB_TYPES,
+        extra_statements=frozenset(
+            {"PRAGMA", "SET", "SHOW", "COPY", "EXPLAIN", "ANALYZE", "DESCRIBE", "CREATE SCHEMA", "ALTER SCHEMA", "CREATE MACRO", "ATTACH"}
+        ),
+        unsupported_statements=frozenset(),
+        fault_signatures=(
+            # Listing 12: ALTER SCHEMA ... RENAME TO crashed DuckDB 0.7.0
+            # (previously a clean NotImplemented error).
+            FaultSignature(
+                kind="crash",
+                pattern=r"^ALTER\s+SCHEMA\s+\w+\s+RENAME\s+TO\s+\w+",
+                description="ALTER SCHEMA RENAME dereferences a missing catalog entry",
+                reference="Listing 12",
+            ),
+            # Listing 13: UPDATE on a table right after a committed transaction
+            # that inserted + updated it crashed DuckDB's storage layer.
+            FaultSignature(
+                kind="crash",
+                pattern=r"^UPDATE\s+\w+\s+SET\s+",
+                description="UPDATE after COMMIT of a transaction that updated the same table",
+                reference="Listing 13",
+                condition="update_after_commit",
+            ),
+            # Listing 15: unconstrained recursive CTE loops forever.
+            FaultSignature(
+                kind="hang",
+                pattern=r"WITH\s+RECURSIVE\s+\w+\s*\(.*\)\s+AS\s*\(\s*SELECT\s+1\s+UNION\s+ALL\s+SELECT\s+.*IN\s*\(\s*SELECT\s+\*\s+FROM\s+\w+\s*\)",
+                description="recursive CTE whose recursive term references the CTE in a subquery never terminates",
+                reference="Listing 15",
+            ),
+        ),
+        explain_style="duckdb",
+        # DuckDB's own runner treats floating-point results within 1% as equal
+        # (Listing 10); SQuaLity's exact comparison flags these as failures.
+        native_float_tolerance=0.01,
+        native_client="cpp-api",
+    )
+)

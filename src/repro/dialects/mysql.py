@@ -1,0 +1,189 @@
+"""Dialect profile for MySQL (version 8.0.33 as studied by the paper)."""
+
+from __future__ import annotations
+
+from repro.dialects.base import (
+    CORE_FUNCTIONS,
+    CORE_TYPES,
+    DialectProfile,
+    DivisionSemantics,
+    FaultSignature,
+    NullOrder,
+    register_dialect,
+)
+
+_MYSQL_FUNCTIONS = CORE_FUNCTIONS | frozenset(
+    {
+        "ifnull",
+        "if",
+        "concat",
+        "concat_ws",
+        "left",
+        "right",
+        "lpad",
+        "rpad",
+        "instr",
+        "locate",
+        "format",
+        "group_concat",
+        "last_insert_id",
+        "database",
+        "version",
+        "user",
+        "current_user",
+        "connection_id",
+        "now",
+        "curdate",
+        "curtime",
+        "date_format",
+        "date_add",
+        "date_sub",
+        "datediff",
+        "str_to_date",
+        "unix_timestamp",
+        "from_unixtime",
+        "md5",
+        "sha1",
+        "sha2",
+        "rand",
+        "truncate",
+        "sign",
+        "exp",
+        "ln",
+        "log",
+        "log10",
+        "log2",
+        "pi",
+        "pow",
+        "greatest",
+        "least",
+        "json_extract",
+        "json_object",
+        "json_array",
+        "row_number",
+        "rank",
+        "dense_rank",
+        "lag",
+        "lead",
+        "first_value",
+        "last_value",
+        "std",
+        "stddev",
+        "stddev_pop",
+        "stddev_samp",
+        "var_pop",
+        "var_samp",
+        "bit_and",
+        "bit_or",
+        "bit_xor",
+    }
+)
+
+#: MySQL system variables set in its test suite (``SET optimizer_search_depth``
+#: is the one behind the >40-table join hang the paper reports).
+_MYSQL_SETTINGS = frozenset(
+    {
+        "autocommit",
+        "big_tables",
+        "character_set_client",
+        "character_set_connection",
+        "character_set_results",
+        "collation_connection",
+        "default_storage_engine",
+        "foreign_key_checks",
+        "group_concat_max_len",
+        "innodb_lock_wait_timeout",
+        "join_buffer_size",
+        "max_allowed_packet",
+        "max_heap_table_size",
+        "optimizer_search_depth",
+        "optimizer_switch",
+        "sort_buffer_size",
+        "sql_mode",
+        "sql_safe_updates",
+        "time_zone",
+        "tmp_table_size",
+        "unique_checks",
+        "seed",
+    }
+)
+
+_MYSQL_TYPES = CORE_TYPES | frozenset(
+    {
+        "TINYINT",
+        "MEDIUMINT",
+        "UNSIGNED",
+        "BIT",
+        "DATETIME",
+        "TIME",
+        "YEAR",
+        "BINARY",
+        "VARBINARY",
+        "TINYBLOB",
+        "BLOB",
+        "MEDIUMBLOB",
+        "LONGBLOB",
+        "TINYTEXT",
+        "MEDIUMTEXT",
+        "LONGTEXT",
+        "ENUM",
+        "SET",
+        "JSON",
+    }
+)
+
+MYSQL = register_dialect(
+    DialectProfile(
+        name="mysql",
+        display_name="MySQL",
+        # In MySQL ``/`` always performs decimal division (Listing 4);
+        # ``DIV`` must be used for integer division.
+        division=DivisionSemantics.DECIMAL,
+        supports_div_operator=True,
+        supports_double_colon_cast=False,
+        # ``||`` is logical OR unless PIPES_AS_CONCAT is enabled in sql_mode.
+        pipes_as_concat=False,
+        allows_string_plus_integer=True,
+        strict_types=True,
+        # MySQL requires an explicit length for VARCHAR columns, which the
+        # paper identifies as a Types-category failure for reuse.
+        requires_varchar_length=True,
+        supports_pragma=False,
+        ignores_unknown_pragma=False,
+        supports_set=True,
+        rejects_unknown_setting=True,
+        supports_start_transaction=True,
+        coalesce_promotes=True,
+        row_value_null_comparison="null",
+        null_order=NullOrder.NULLS_FIRST,
+        boolean_accepts_integers=True,
+        limits_recursive_cte=True,
+        functions=_MYSQL_FUNCTIONS,
+        settings=_MYSQL_SETTINGS,
+        types=_MYSQL_TYPES,
+        extra_statements=frozenset({"SET", "SHOW", "USE", "EXPLAIN", "ANALYZE", "DESCRIBE", "CREATE SCHEMA", "LOCK TABLE", "CREATE DATABASE"}),
+        unsupported_statements=frozenset({"PRAGMA", "COPY"}),
+        fault_signatures=(
+            # Listing 14: recursive CTE mixing UNION ALL with UNION crashed the
+            # server in FollowTailIterator::Read() (CVE-2024-20962).
+            FaultSignature(
+                kind="crash",
+                pattern=r"WITH\s+RECURSIVE\s+\w+\s*\(.*\)\s+AS\s*\(\s*SELECT\s+1\s+UNION\s+ALL\s+\(\s*SELECT.*UNION\s+SELECT",
+                description="recursive CTE with nested UNION ALL / UNION crashes FollowTailIterator::Read()",
+                reference="Listing 14 / CVE-2024-20962",
+            ),
+            # The >40-table join takes over a minute to plan with the default
+            # optimizer_search_depth=62 (reported as a hang by the runner).
+            FaultSignature(
+                kind="hang",
+                pattern=r"FROM(\s*\w+(\s+AS\s+\w+)?\s*,){40,}",
+                description="exhaustive join-order search with optimizer_search_depth=62",
+                reference="Section 6, Hangs",
+                condition="default_search_depth",
+            ),
+        ),
+        explain_style="mysql",
+        native_float_tolerance=0.0,
+        native_client="mysqltest",
+    )
+)

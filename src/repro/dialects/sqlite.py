@@ -1,0 +1,124 @@
+"""Dialect profile for SQLite (version 3.41 as studied by the paper)."""
+
+from __future__ import annotations
+
+from repro.dialects.base import (
+    CORE_FUNCTIONS,
+    CORE_TYPES,
+    DialectProfile,
+    DivisionSemantics,
+    FaultSignature,
+    NullOrder,
+    register_dialect,
+)
+
+#: SQLite-specific scalar / table functions exercised by the corpora.
+_SQLITE_FUNCTIONS = CORE_FUNCTIONS | frozenset(
+    {
+        "typeof",
+        "ifnull",
+        "instr",
+        "hex",
+        "quote",
+        "random",
+        "randomblob",
+        "last_insert_rowid",
+        "changes",
+        "total_changes",
+        "glob",
+        "like",
+        "likelihood",
+        "printf",
+        "unicode",
+        "zeroblob",
+        "date",
+        "time",
+        "datetime",
+        "julianday",
+        "strftime",
+        "group_concat",
+        "total",
+        # generate_series is provided via the (bundled) series extension; the
+        # paper's Listing 16 hang involves exactly this function.
+        "generate_series",
+        "json",
+        "json_extract",
+        "json_array",
+        "json_object",
+        "iif",
+        "sign",
+        "unixepoch",
+    }
+)
+
+_SQLITE_SETTINGS = frozenset(
+    {
+        # PRAGMAs commonly used in SLT and in SQLite's own tests.
+        "cache_size",
+        "case_sensitive_like",
+        "encoding",
+        "foreign_keys",
+        "integrity_check",
+        "journal_mode",
+        "legacy_file_format",
+        "page_size",
+        "synchronous",
+        "table_info",
+        "temp_store",
+        "user_version",
+        "reverse_unordered_selects",
+        "automatic_index",
+    }
+)
+
+_SQLITE_TYPES = CORE_TYPES | frozenset({"BLOB", "CLOB", "INT2", "INT8", "DATETIME"})
+
+SQLITE = register_dialect(
+    DialectProfile(
+        name="sqlite",
+        display_name="SQLite",
+        division=DivisionSemantics.INTEGER,
+        supports_div_operator=False,
+        supports_double_colon_cast=False,
+        pipes_as_concat=True,
+        # SQLite's weak typing lets '1' + 1 evaluate to 2 (Operators category).
+        allows_string_plus_integer=True,
+        # Dynamic typing: any value can be stored in any column, which is the
+        # reason SQLite passes more DuckDB/PostgreSQL Type tests than others.
+        strict_types=False,
+        requires_varchar_length=False,
+        supports_pragma=True,
+        # SQLite silently ignores unknown PRAGMA names (Section 4).
+        ignores_unknown_pragma=True,
+        # SQLite has no general-purpose SET statement.
+        supports_set=False,
+        rejects_unknown_setting=True,
+        # SQLite lacks support for the standard START TRANSACTION syntax
+        # (Section 4, transactions paragraph): only BEGIN is accepted.
+        supports_start_transaction=False,
+        # COALESCE(1, 1.0) returns integer 1 in SQLite (Section 6).
+        coalesce_promotes=False,
+        row_value_null_comparison="null",
+        null_order=NullOrder.NULLS_FIRST,
+        boolean_accepts_integers=True,
+        limits_recursive_cte=False,
+        functions=_SQLITE_FUNCTIONS,
+        settings=_SQLITE_SETTINGS,
+        types=_SQLITE_TYPES,
+        extra_statements=frozenset({"PRAGMA", "VACUUM", "ATTACH", "DETACH", "REINDEX", "ANALYZE"}),
+        unsupported_statements=frozenset({"SET", "COPY", "SHOW", "START TRANSACTION", "ALTER SCHEMA", "CREATE SCHEMA"}),
+        fault_signatures=(
+            # Listing 16: generate_series(9223372036854775807, 9223372036854775807)
+            # triggered an (3-year old) overflow hang in SQLite's series extension.
+            FaultSignature(
+                kind="hang",
+                pattern=r"generate_series\s*\(\s*9223372036854775807\s*,\s*9223372036854775807\s*\)",
+                description="integer overflow in the series extension makes the virtual table loop",
+                reference="Listing 16 / sqlite forum post 754e2d",
+            ),
+        ),
+        explain_style="sqlite",
+        native_float_tolerance=0.0,
+        native_client="c-api",
+    )
+)

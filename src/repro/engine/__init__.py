@@ -1,0 +1,30 @@
+"""MiniDB: an in-process relational SQL engine with dialect profiles.
+
+MiniDB substitutes for the real PostgreSQL / MySQL / DuckDB servers the paper
+executed test suites on (which cannot be installed in this offline
+environment).  A :class:`~repro.engine.session.Session` is created with a
+:class:`~repro.dialects.base.DialectProfile`, and the profile drives every
+dialect-sensitive decision: division semantics, operator support, function
+availability, type strictness, configuration handling, NULL ordering, row-value
+comparison, recursive-CTE policy, and EXPLAIN output format.
+
+The public entry point is :class:`Session` (plus :func:`connect`), which
+mimics a minimal DB-API: ``execute(sql)`` returns a :class:`QueryResult` with
+``rows`` and ``columns``.
+"""
+
+from repro.engine.values import SQLType, render_value, sql_type_of
+from repro.engine.storage import Column, Database, Table
+from repro.engine.session import QueryResult, Session, connect
+
+__all__ = [
+    "SQLType",
+    "render_value",
+    "sql_type_of",
+    "Column",
+    "Database",
+    "Table",
+    "QueryResult",
+    "Session",
+    "connect",
+]

@@ -1,0 +1,346 @@
+"""Abstract syntax tree node definitions for MiniDB's SQL parser.
+
+The AST is intentionally small and flat: expression nodes plus one dataclass
+per statement kind.  The executor dispatches on the node class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Marker base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expression):
+    value: Any
+
+
+@dataclass
+class ColumnRef(Expression):
+    name: str
+    table: str | None = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expression):
+    table: str | None = None
+
+
+@dataclass
+class UnaryOp(Expression):
+    operator: str
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class FunctionCall(Expression):
+    name: str
+    args: list[Expression] = field(default_factory=list)
+    distinct: bool = False
+    is_star: bool = False  # COUNT(*)
+
+
+@dataclass
+class Cast(Expression):
+    operand: Expression
+    type_name: str
+    via_double_colon: bool = False
+
+
+@dataclass
+class CaseExpression(Expression):
+    operand: Optional[Expression]
+    whens: list[tuple[Expression, Expression]] = field(default_factory=list)
+    default: Optional[Expression] = None
+
+
+@dataclass
+class InExpression(Expression):
+    operand: Expression
+    items: list[Expression] = field(default_factory=list)
+    subquery: Optional["SelectStatement"] = None
+    negated: bool = False
+
+
+@dataclass
+class BetweenExpression(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass
+class LikeExpression(Expression):
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+    case_insensitive: bool = False
+
+
+@dataclass
+class IsNullExpression(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class ExistsExpression(Expression):
+    subquery: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expression):
+    subquery: "SelectStatement"
+
+
+@dataclass
+class RowValue(Expression):
+    items: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class ListLiteral(Expression):
+    items: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class StructLiteral(Expression):
+    items: list[tuple[str, Expression]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# SELECT and friends
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expression: Expression
+    alias: str | None = None
+
+
+@dataclass
+class TableRef:
+    """A FROM-clause item: base table, subquery, or table function."""
+
+    name: str | None = None
+    alias: str | None = None
+    subquery: Optional["SelectStatement"] = None
+    function: Optional[FunctionCall] = None
+    join_type: str | None = None  # None for the first item / comma joins
+    join_condition: Optional[Expression] = None
+    using_columns: list[str] = field(default_factory=list)
+    is_comma_join: bool = False
+
+
+@dataclass
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+    nulls: str | None = None  # "first" | "last" | None (dialect default)
+
+
+@dataclass
+class CommonTableExpression:
+    name: str
+    columns: list[str]
+    query: "SelectStatement"
+
+
+@dataclass
+class SelectCore:
+    items: list[SelectItem] = field(default_factory=list)
+    from_tables: list[TableRef] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    distinct: bool = False
+    values_rows: list[list[Expression]] | None = None  # for VALUES (...) cores
+
+
+@dataclass
+class SelectStatement:
+    core: SelectCore
+    compound: list[tuple[str, SelectCore]] = field(default_factory=list)  # (op, core)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+    ctes: list[CommonTableExpression] = field(default_factory=list)
+    recursive: bool = False
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[Expression]] = field(default_factory=list)
+    select: Optional[SelectStatement] = None
+    or_ignore: bool = False
+
+
+@dataclass
+class UpdateStatement:
+    table: str
+    assignments: list[tuple[str, Expression]] = field(default_factory=list)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DeleteStatement:
+    table: str
+    where: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDefinition:
+    name: str
+    type_name: str | None
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    default: Optional[Expression] = None
+    check: Optional[Expression] = None
+
+
+@dataclass
+class CreateTableStatement:
+    name: str
+    columns: list[ColumnDefinition] = field(default_factory=list)
+    if_not_exists: bool = False
+    temporary: bool = False
+    as_select: Optional[SelectStatement] = None
+    primary_key_columns: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DropStatement:
+    object_kind: str  # TABLE | VIEW | INDEX | SCHEMA
+    name: str
+    if_exists: bool = False
+    cascade: bool = False
+
+
+@dataclass
+class AlterTableStatement:
+    table: str
+    action: str  # add_column | drop_column | rename_to | rename_column
+    column: Optional[ColumnDefinition] = None
+    new_name: str | None = None
+    old_column: str | None = None
+
+
+@dataclass
+class CreateIndexStatement:
+    name: str
+    table: str
+    columns: list[str] = field(default_factory=list)
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateViewStatement:
+    name: str
+    query: SelectStatement
+    if_not_exists: bool = False
+    or_replace: bool = False
+
+
+@dataclass
+class CreateSchemaStatement:
+    name: str
+    if_not_exists: bool = False
+
+
+@dataclass
+class AlterSchemaStatement:
+    name: str
+    new_name: str
+
+
+# ---------------------------------------------------------------------------
+# Transactions, settings, utility statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransactionStatement:
+    action: str  # begin | commit | rollback | savepoint | release
+    name: str | None = None
+
+
+@dataclass
+class SetStatement:
+    name: str
+    value: Optional[Expression]
+    is_pragma: bool = False
+    scope: str | None = None  # LOCAL | SESSION | GLOBAL
+
+
+@dataclass
+class ShowStatement:
+    name: str
+
+
+@dataclass
+class ExplainStatement:
+    statement: Any
+    analyze: bool = False
+
+
+@dataclass
+class UseStatement:
+    database: str
+
+
+@dataclass
+class CopyStatement:
+    table: str
+    source: str
+    direction: str = "from"  # from | to
+
+
+@dataclass
+class UnparsedStatement:
+    """A statement MiniDB recognises as SQL but cannot execute.
+
+    The executor converts these into :class:`UnsupportedStatementError`
+    carrying the statement type, which is exactly what the failure classifier
+    needs for the RQ4 ``Statements`` category.
+    """
+
+    text: str
+    statement_type: str
+    reason: str = "unsupported statement"

@@ -1,0 +1,670 @@
+"""SELECT execution for MiniDB.
+
+The executor materialises every intermediate relation — fine at test-suite
+scale — and implements: base-table/view/subquery/table-function FROM items,
+comma joins, INNER/LEFT/RIGHT/FULL/CROSS/NATURAL joins (ON and USING),
+WHERE filtering, GROUP BY with aggregates and HAVING, DISTINCT, compound
+operators (UNION [ALL], INTERSECT, EXCEPT), ORDER BY with dialect NULL
+ordering, LIMIT/OFFSET, and (recursive) common table expressions with the
+dialect-specific recursion policies the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dialects.base import DialectProfile, NullOrder
+from repro.engine import ast_nodes as ast
+from repro.engine.expressions import ExpressionEvaluator, RowContext
+from repro.engine.functions import evaluate_aggregate, is_aggregate
+from repro.engine.storage import Database, Table
+from repro.engine.values import compare_values, render_value
+from repro.errors import CatalogError, DatabaseError, EngineHang, UnsupportedStatementError
+
+#: Iteration budget for recursive CTEs before MiniDB declares a hang.
+MAX_RECURSIVE_ITERATIONS = 2000
+#: Row budget for any single relation.
+MAX_RELATION_ROWS = 2_000_000
+
+
+@dataclass
+class Relation:
+    """A materialised intermediate result: ordered columns plus row lists.
+
+    ``source_columns``/``source_rows`` optionally keep the pre-projection rows
+    aligned with ``rows`` so ORDER BY can reference columns that were not
+    projected (``SELECT b FROM t ORDER BY a``).
+    """
+
+    columns: list[tuple[str | None, str]] = field(default_factory=list)  # (qualifier, name)
+    rows: list[list[Any]] = field(default_factory=list)
+    source_columns: list[tuple[str | None, str]] | None = None
+    source_rows: list[list[Any]] | None = None
+
+    def column_names(self) -> list[str]:
+        return [name for _, name in self.columns]
+
+    def rename(self, qualifier: str) -> "Relation":
+        return Relation(columns=[(qualifier, name) for _, name in self.columns], rows=self.rows)
+
+    @staticmethod
+    def from_table(table: Table, qualifier: str | None = None) -> "Relation":
+        name = qualifier or table.name
+        return Relation(
+            columns=[(name, column.name) for column in table.columns],
+            rows=[list(row) for row in table.rows],
+        )
+
+
+def _bind_row(relation: Relation, row: list[Any], outer: RowContext | None = None) -> RowContext:
+    context = RowContext(outer=outer)
+    for (qualifier, name), value in zip(relation.columns, row):
+        context.bind(name, value)
+        if qualifier:
+            context.bind(f"{qualifier}.{name}", value)
+    return context
+
+
+def _expression_name(expression: ast.Expression) -> str:
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name
+    if isinstance(expression, ast.Literal):
+        return render_value(expression.value)
+    if isinstance(expression, ast.Cast):
+        return _expression_name(expression.operand)
+    return "expr"
+
+
+def _contains_aggregate(expression: ast.Expression) -> bool:
+    if isinstance(expression, ast.FunctionCall):
+        if is_aggregate(expression.name):
+            return True
+        return any(_contains_aggregate(arg) for arg in expression.args)
+    if isinstance(expression, ast.BinaryOp):
+        return _contains_aggregate(expression.left) or _contains_aggregate(expression.right)
+    if isinstance(expression, ast.UnaryOp):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, ast.Cast):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, ast.CaseExpression):
+        parts = [expression.operand, expression.default] if expression.operand or expression.default else []
+        parts += [item for pair in expression.whens for item in pair]
+        return any(_contains_aggregate(part) for part in parts if part is not None)
+    return False
+
+
+class SelectExecutor:
+    """Executes SELECT statements against a :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        dialect: DialectProfile,
+        evaluator: ExpressionEvaluator,
+        feature_hook: Callable[[str], None] | None = None,
+    ):
+        self.database = database
+        self.dialect = dialect
+        self.evaluator = evaluator
+        self._touch = feature_hook or (lambda name: None)
+        self._cte_relations: dict[str, Relation] = {}
+
+    # -- public API -----------------------------------------------------------------
+
+    def execute(self, statement: ast.SelectStatement, outer: RowContext | None = None) -> Relation:
+        self._touch("executor.select")
+        saved_ctes = dict(self._cte_relations)
+        try:
+            for cte in statement.ctes:
+                self._cte_relations[cte.name.lower()] = self._evaluate_cte(cte, statement.recursive, outer)
+            relation = self._execute_core(statement.core, outer)
+            for operator, core in statement.compound:
+                right = self._execute_core(core, outer)
+                relation = self._apply_compound(operator, relation, right)
+            if statement.order_by:
+                relation = self._apply_order_by(relation, statement.order_by, outer)
+            relation = self._apply_limit(relation, statement, outer)
+            return relation
+        finally:
+            self._cte_relations = saved_ctes
+
+    def execute_rows(self, statement: ast.SelectStatement, outer: RowContext | None = None) -> list[list[Any]]:
+        return self.execute(statement, outer).rows
+
+    # -- CTEs -----------------------------------------------------------------------
+
+    def _evaluate_cte(self, cte: ast.CommonTableExpression, recursive: bool, outer: RowContext | None) -> Relation:
+        query = cte.query
+        is_self_recursive = recursive and self._references_cte(query, cte.name)
+        if not is_self_recursive:
+            relation = self.execute(query, outer)
+            return self._apply_cte_columns(relation, cte)
+
+        self._touch("executor.recursive_cte")
+        if self._recursive_reference_in_subquery(query, cte.name):
+            # PostgreSQL/MySQL reject this pattern outright; DuckDB/SQLite run
+            # it and never terminate (Listing 15).
+            if self.dialect.limits_recursive_cte:
+                raise DatabaseError(
+                    f"recursive reference to query \"{cte.name}\" must not appear within a subquery"
+                )
+            raise EngineHang(
+                f"recursive CTE {cte.name} with a self-reference inside a subquery does not terminate"
+            )
+
+        base_relation = self._execute_core(query.core, outer)
+        base_relation = self._apply_cte_columns(base_relation, cte)
+        accumulated = Relation(columns=list(base_relation.columns), rows=[list(row) for row in base_relation.rows])
+        working = base_relation
+        iterations = 0
+        while working.rows:
+            iterations += 1
+            if iterations > MAX_RECURSIVE_ITERATIONS or len(accumulated.rows) > MAX_RELATION_ROWS:
+                raise EngineHang(f"recursive CTE {cte.name} exceeded the iteration budget")
+            self._cte_relations[cte.name.lower()] = working
+            new_rows: list[list[Any]] = []
+            for operator, core in query.compound:
+                delta = self._execute_core(core, outer)
+                candidate_rows = delta.rows
+                if "ALL" not in operator:
+                    seen = {tuple(map(render_value, row)) for row in accumulated.rows}
+                    candidate_rows = [row for row in candidate_rows if tuple(map(render_value, row)) not in seen]
+                new_rows.extend(candidate_rows)
+            if not query.compound:
+                break
+            working = Relation(columns=list(base_relation.columns), rows=new_rows)
+            accumulated.rows.extend(new_rows)
+        self._cte_relations.pop(cte.name.lower(), None)
+        return accumulated
+
+    def _apply_cte_columns(self, relation: Relation, cte: ast.CommonTableExpression) -> Relation:
+        if cte.columns:
+            columns = [(cte.name, name) for name in cte.columns]
+            while len(columns) < len(relation.columns):
+                columns.append((cte.name, relation.columns[len(columns)][1]))
+        else:
+            columns = [(cte.name, name) for _, name in relation.columns]
+        return Relation(columns=columns, rows=relation.rows)
+
+    def _references_cte(self, statement: ast.SelectStatement, name: str) -> bool:
+        cores = [statement.core] + [core for _, core in statement.compound]
+        return any(self._core_references(core, name) for core in cores)
+
+    def _core_references(self, core: ast.SelectCore, name: str) -> bool:
+        lowered = name.lower()
+        for ref in core.from_tables:
+            if ref.name and ref.name.lower() == lowered:
+                return True
+            if ref.subquery is not None and self._references_cte(ref.subquery, name):
+                return True
+        if core.where is not None and self._expression_references(core.where, name):
+            return True
+        for item in core.items:
+            if self._expression_references(item.expression, name):
+                return True
+        return False
+
+    def _expression_references(self, expression: ast.Expression, name: str) -> bool:
+        lowered = name.lower()
+        stack: list[Any] = [expression]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.InExpression, ast.ExistsExpression, ast.ScalarSubquery)):
+                subquery = getattr(node, "subquery", None)
+                if subquery is not None and self._references_cte(subquery, name):
+                    return True
+                if isinstance(node, ast.InExpression):
+                    stack.extend(node.items)
+                    stack.append(node.operand)
+            elif isinstance(node, ast.BinaryOp):
+                stack.extend([node.left, node.right])
+            elif isinstance(node, ast.UnaryOp):
+                stack.append(node.operand)
+            elif isinstance(node, ast.FunctionCall):
+                stack.extend(node.args)
+            elif isinstance(node, ast.Cast):
+                stack.append(node.operand)
+            elif isinstance(node, ast.ColumnRef) and node.table and node.table.lower() == lowered:
+                return True
+        return False
+
+    def _recursive_reference_in_subquery(self, statement: ast.SelectStatement, name: str) -> bool:
+        """Detect the Listing 15 pattern: the recursive term references the CTE inside a subquery."""
+        for _, core in statement.compound:
+            expressions: list[ast.Expression] = []
+            if core.where is not None:
+                expressions.append(core.where)
+            expressions.extend(item.expression for item in core.items)
+            for expression in expressions:
+                stack: list[Any] = [expression]
+                while stack:
+                    node = stack.pop()
+                    if isinstance(node, (ast.InExpression, ast.ExistsExpression, ast.ScalarSubquery)):
+                        subquery = getattr(node, "subquery", None)
+                        if subquery is not None and self._subquery_scans(subquery, name):
+                            return True
+                        if isinstance(node, ast.InExpression):
+                            stack.append(node.operand)
+                    elif isinstance(node, ast.BinaryOp):
+                        stack.extend([node.left, node.right])
+                    elif isinstance(node, ast.UnaryOp):
+                        stack.append(node.operand)
+        return False
+
+    def _subquery_scans(self, statement: ast.SelectStatement, name: str) -> bool:
+        lowered = name.lower()
+        cores = [statement.core] + [core for _, core in statement.compound]
+        for core in cores:
+            for ref in core.from_tables:
+                if ref.name and ref.name.lower() == lowered:
+                    return True
+                if ref.subquery is not None and self._subquery_scans(ref.subquery, name):
+                    return True
+        return False
+
+    # -- SELECT core -------------------------------------------------------------------
+
+    def _execute_core(self, core: ast.SelectCore, outer: RowContext | None) -> Relation:
+        if core.values_rows is not None:
+            self._touch("executor.values")
+            rows = []
+            width = 0
+            for row_expressions in core.values_rows:
+                context = RowContext(outer=outer)
+                row = [self.evaluator.evaluate(expression, context) for expression in row_expressions]
+                width = max(width, len(row))
+                rows.append(row)
+            columns = [(None, f"column{i}") for i in range(width)]
+            return Relation(columns=columns, rows=rows)
+
+        source = self._resolve_from(core.from_tables, outer)
+
+        if core.where is not None:
+            self._touch("executor.filter")
+            kept = []
+            for row in source.rows:
+                context = _bind_row(source, row, outer)
+                if self.evaluator.evaluate_predicate(core.where, context):
+                    kept.append(row)
+            source = Relation(columns=source.columns, rows=kept)
+
+        has_aggregates = bool(core.group_by) or any(_contains_aggregate(item.expression) for item in core.items)
+        if has_aggregates:
+            relation = self._execute_aggregation(core, source, outer)
+        else:
+            relation = self._project(core, source, outer)
+
+        if core.distinct:
+            self._touch("executor.distinct")
+            seen: set[tuple] = set()
+            unique_rows = []
+            unique_sources = [] if relation.source_rows is not None else None
+            for index, row in enumerate(relation.rows):
+                key = tuple(render_value(value) for value in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique_rows.append(row)
+                    if unique_sources is not None:
+                        unique_sources.append(relation.source_rows[index])
+            relation = Relation(
+                columns=relation.columns,
+                rows=unique_rows,
+                source_columns=relation.source_columns,
+                source_rows=unique_sources,
+            )
+        return relation
+
+    # -- FROM ----------------------------------------------------------------------------
+
+    def _resolve_from(self, refs: list[ast.TableRef], outer: RowContext | None) -> Relation:
+        if not refs:
+            # SELECT without FROM: a single empty row so expressions evaluate once.
+            return Relation(columns=[], rows=[[]])
+        relation = self._resolve_table_ref(refs[0], outer)
+        for ref in refs[1:]:
+            right = self._resolve_table_ref(ref, outer)
+            join_type = ref.join_type or "cross"
+            if ref.is_comma_join:
+                join_type = "cross"
+            self._touch(f"executor.join.{join_type}")
+            relation = self._join(relation, right, join_type, ref, outer)
+            if len(relation.rows) > MAX_RELATION_ROWS:
+                raise EngineHang("join result exceeds the row budget")
+        return relation
+
+    def _resolve_table_ref(self, ref: ast.TableRef, outer: RowContext | None) -> Relation:
+        if ref.subquery is not None:
+            self._touch("executor.derived_table")
+            relation = self.execute(ref.subquery, outer)
+            qualifier = ref.alias or "subquery"
+            return relation.rename(qualifier)
+        if ref.function is not None:
+            self._touch("executor.table_function")
+            context = RowContext(outer=outer)
+            values = self.evaluator.evaluate(ref.function, context)
+            name = ref.alias or ref.function.name
+            if not isinstance(values, list):
+                values = [values]
+            column_name = ref.function.name if ref.function.name in ("range", "generate_series") else "value"
+            if ref.function.name == "generate_series":
+                column_name = "generate_series"
+            rows = [[value] for value in values]
+            return Relation(columns=[(name, column_name), (name, name)] if False else [(name, column_name)], rows=rows)
+        if ref.name is None:
+            raise DatabaseError("invalid table reference")
+        lowered = ref.name.lower()
+        if lowered in self._cte_relations:
+            self._touch("executor.cte_scan")
+            relation = self._cte_relations[lowered]
+            qualifier = ref.alias or ref.name
+            return Relation(columns=[(qualifier, name) for _, name in relation.columns], rows=relation.rows)
+        view = self.database.get_view(ref.name)
+        if view is not None:
+            self._touch("executor.view_scan")
+            relation = self.execute(view.query, outer)
+            qualifier = ref.alias or ref.name
+            return relation.rename(qualifier)
+        table = self.database.get_table(ref.name)
+        self._touch("executor.table_scan")
+        return Relation.from_table(table, ref.alias or ref.name)
+
+    def _join(self, left: Relation, right: Relation, join_type: str, ref: ast.TableRef, outer: RowContext | None) -> Relation:
+        columns = left.columns + right.columns
+        combined = Relation(columns=columns, rows=[])
+
+        condition = ref.join_condition
+        using_columns = ref.using_columns
+        if join_type == "natural":
+            left_names = {name.lower() for _, name in left.columns}
+            using_columns = [name for _, name in right.columns if name.lower() in left_names]
+            join_type = "inner"
+
+        def matches(left_row: list[Any], right_row: list[Any]) -> bool:
+            if using_columns:
+                for column in using_columns:
+                    left_value = self._value_of(left, left_row, column)
+                    right_value = self._value_of(right, right_row, column)
+                    if compare_values(left_value, right_value) != 0:
+                        return False
+                return True
+            if condition is None:
+                return True
+            context = _bind_row(combined, left_row + right_row, outer)
+            return self.evaluator.evaluate_predicate(condition, context)
+
+        if join_type in ("cross", "inner", "asof"):
+            for left_row in left.rows:
+                for right_row in right.rows:
+                    if matches(left_row, right_row):
+                        combined.rows.append(left_row + right_row)
+            return combined
+        if join_type == "left":
+            for left_row in left.rows:
+                matched = False
+                for right_row in right.rows:
+                    if matches(left_row, right_row):
+                        combined.rows.append(left_row + right_row)
+                        matched = True
+                if not matched:
+                    combined.rows.append(left_row + [None] * len(right.columns))
+            return combined
+        if join_type == "right":
+            for right_row in right.rows:
+                matched = False
+                for left_row in left.rows:
+                    if matches(left_row, right_row):
+                        combined.rows.append(left_row + right_row)
+                        matched = True
+                if not matched:
+                    combined.rows.append([None] * len(left.columns) + right_row)
+            return combined
+        if join_type == "full":
+            matched_right: set[int] = set()
+            for left_row in left.rows:
+                matched = False
+                for right_index, right_row in enumerate(right.rows):
+                    if matches(left_row, right_row):
+                        combined.rows.append(left_row + right_row)
+                        matched = True
+                        matched_right.add(right_index)
+                if not matched:
+                    combined.rows.append(left_row + [None] * len(right.columns))
+            for right_index, right_row in enumerate(right.rows):
+                if right_index not in matched_right:
+                    combined.rows.append([None] * len(left.columns) + right_row)
+            return combined
+        raise UnsupportedStatementError(f"unsupported join type: {join_type}")
+
+    def _value_of(self, relation: Relation, row: list[Any], column: str) -> Any:
+        lowered = column.lower()
+        for index, (_, name) in enumerate(relation.columns):
+            if name.lower() == lowered:
+                return row[index]
+        raise CatalogError(f"no such column: {column}")
+
+    # -- projection & aggregation -----------------------------------------------------------
+
+    def _expand_items(self, items: list[ast.SelectItem], source: Relation) -> list[tuple[ast.Expression, str]]:
+        expanded: list[tuple[ast.Expression, str]] = []
+        for item in items:
+            if isinstance(item.expression, ast.Star):
+                qualifier = item.expression.table
+                for (column_qualifier, name) in source.columns:
+                    if qualifier is None or (column_qualifier and column_qualifier.lower() == qualifier.lower()):
+                        expanded.append((ast.ColumnRef(name=name, table=column_qualifier), name))
+            else:
+                expanded.append((item.expression, item.alias or _expression_name(item.expression)))
+        return expanded
+
+    def _project(self, core: ast.SelectCore, source: Relation, outer: RowContext | None) -> Relation:
+        self._touch("executor.projection")
+        expanded = self._expand_items(core.items, source)
+        columns = [(None, name) for _, name in expanded]
+        result = Relation(columns=columns, rows=[], source_columns=list(source.columns), source_rows=[])
+        for row in source.rows:
+            context = _bind_row(source, row, outer)
+            result.rows.append([self.evaluator.evaluate(expression, context) for expression, _ in expanded])
+            result.source_rows.append(row)
+        return result
+
+    def _execute_aggregation(self, core: ast.SelectCore, source: Relation, outer: RowContext | None) -> Relation:
+        self._touch("executor.aggregate")
+        groups: dict[tuple, list[list[Any]]] = {}
+        group_keys: dict[tuple, list[Any]] = {}
+        if core.group_by:
+            self._touch("executor.group_by")
+            for row in source.rows:
+                context = _bind_row(source, row, outer)
+                key_values = [self.evaluator.evaluate(expression, context) for expression in core.group_by]
+                key = tuple(render_value(value) for value in key_values)
+                groups.setdefault(key, []).append(row)
+                group_keys[key] = key_values
+        else:
+            groups[("__all__",)] = list(source.rows)
+            group_keys[("__all__",)] = []
+
+        expanded = self._expand_items(core.items, source)
+        columns = [(None, name) for _, name in expanded]
+        result = Relation(columns=columns, rows=[])
+
+        for key, rows in groups.items():
+            if not rows and not core.group_by:
+                rows = []
+            representative = rows[0] if rows else [None] * len(source.columns)
+            context = _bind_row(source, representative, outer)
+            output_row = [
+                self._evaluate_with_aggregates(expression, rows, source, context, outer) for expression, _ in expanded
+            ]
+            if core.having is not None:
+                having_value = self._evaluate_with_aggregates(core.having, rows, source, context, outer)
+                if having_value in (None, False, 0):
+                    continue
+            result.rows.append(output_row)
+        return result
+
+    def _evaluate_with_aggregates(
+        self,
+        expression: ast.Expression,
+        group_rows: list[list[Any]],
+        source: Relation,
+        representative: RowContext,
+        outer: RowContext | None,
+    ) -> Any:
+        if isinstance(expression, ast.FunctionCall) and is_aggregate(expression.name):
+            self._touch(f"aggregate.{expression.name}")
+            if expression.is_star or not expression.args:
+                values = [1] * len(group_rows)
+                return evaluate_aggregate(expression.name, values, self.dialect, distinct=expression.distinct, is_star=True)
+            values = []
+            for row in group_rows:
+                context = _bind_row(source, row, outer)
+                values.append(self.evaluator.evaluate(expression.args[0], context))
+            return evaluate_aggregate(expression.name, values, self.dialect, distinct=expression.distinct)
+        if isinstance(expression, ast.BinaryOp):
+            left = self._evaluate_with_aggregates(expression.left, group_rows, source, representative, outer)
+            right = self._evaluate_with_aggregates(expression.right, group_rows, source, representative, outer)
+            synthetic = ast.BinaryOp(operator=expression.operator, left=ast.Literal(left), right=ast.Literal(right))
+            return self.evaluator.evaluate(synthetic, representative)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self._evaluate_with_aggregates(expression.operand, group_rows, source, representative, outer)
+            return self.evaluator.evaluate(ast.UnaryOp(operator=expression.operator, operand=ast.Literal(operand)), representative)
+        if isinstance(expression, ast.Cast):
+            operand = self._evaluate_with_aggregates(expression.operand, group_rows, source, representative, outer)
+            return self.evaluator.evaluate(
+                ast.Cast(operand=ast.Literal(operand), type_name=expression.type_name, via_double_colon=expression.via_double_colon),
+                representative,
+            )
+        if isinstance(expression, ast.FunctionCall):
+            arguments = [
+                ast.Literal(self._evaluate_with_aggregates(argument, group_rows, source, representative, outer))
+                for argument in expression.args
+            ]
+            return self.evaluator.evaluate(ast.FunctionCall(name=expression.name, args=arguments), representative)
+        return self.evaluator.evaluate(expression, representative)
+
+    # -- compound / order / limit ---------------------------------------------------------------
+
+    def _apply_compound(self, operator: str, left: Relation, right: Relation) -> Relation:
+        self._touch(f"executor.compound.{operator.replace(' ', '_').lower()}")
+        if left.columns and right.columns and len(left.columns) != len(right.columns):
+            raise DatabaseError("SELECTs to the left and right of a set operation do not have the same number of result columns")
+        columns = left.columns or right.columns
+        if operator == "UNION ALL":
+            return Relation(columns=columns, rows=left.rows + right.rows)
+        left_keys = [tuple(render_value(value) for value in row) for row in left.rows]
+        right_keys = {tuple(render_value(value) for value in row) for row in right.rows}
+        if operator == "UNION":
+            seen: set[tuple] = set()
+            rows = []
+            for row in left.rows + right.rows:
+                key = tuple(render_value(value) for value in row)
+                if key not in seen:
+                    seen.add(key)
+                    rows.append(row)
+            return Relation(columns=columns, rows=rows)
+        if operator in ("INTERSECT", "INTERSECT ALL"):
+            rows = []
+            seen = set()
+            for key, row in zip(left_keys, left.rows):
+                if key in right_keys and (operator == "INTERSECT ALL" or key not in seen):
+                    seen.add(key)
+                    rows.append(row)
+            return Relation(columns=columns, rows=rows)
+        if operator in ("EXCEPT", "EXCEPT ALL"):
+            rows = []
+            seen = set()
+            for key, row in zip(left_keys, left.rows):
+                if key not in right_keys and (operator == "EXCEPT ALL" or key not in seen):
+                    seen.add(key)
+                    rows.append(row)
+            return Relation(columns=columns, rows=rows)
+        raise UnsupportedStatementError(f"unsupported compound operator: {operator}")
+
+    def _apply_order_by(self, relation: Relation, order_by: list[ast.OrderItem], outer: RowContext | None) -> Relation:
+        self._touch("executor.order_by")
+        source_rows = relation.source_rows if relation.source_rows is not None and len(relation.source_rows) == len(relation.rows) else None
+
+        def sort_key_for(indexed_row: tuple[int, list[Any]]) -> list[tuple]:
+            index, row = indexed_row
+            context = RowContext(outer=outer)
+            # bind the pre-projection source columns first so ORDER BY can
+            # reference columns that were not selected; output columns are
+            # bound afterwards and therefore win on name clashes.
+            if source_rows is not None and relation.source_columns is not None:
+                for (qualifier, name), value in zip(relation.source_columns, source_rows[index]):
+                    context.bind(name, value)
+                    if qualifier:
+                        context.bind(f"{qualifier}.{name}", value)
+            for (qualifier, name), value in zip(relation.columns, row):
+                context.bind(name, value)
+                if qualifier:
+                    context.bind(f"{qualifier}.{name}", value)
+            keys: list[tuple] = []
+            for item in order_by:
+                if isinstance(item.expression, ast.Literal) and isinstance(item.expression.value, int):
+                    position = item.expression.value - 1
+                    value = row[position] if 0 <= position < len(row) else None
+                else:
+                    value = self.evaluator.evaluate(item.expression, context)
+                nulls = item.nulls
+                if nulls is None:
+                    default_first = self.dialect.null_order is NullOrder.NULLS_FIRST
+                    if item.descending:
+                        default_first = not default_first
+                    nulls = "first" if default_first else "last"
+                is_null = value is None
+                null_rank = 0 if (is_null and nulls == "first") else (2 if is_null else 1)
+                if isinstance(value, bool):
+                    sortable: Any = (0, float(value))
+                elif isinstance(value, (int, float)):
+                    sortable = (0, float(value))
+                elif value is None:
+                    sortable = (0, 0.0)
+                elif isinstance(value, (list, dict)):
+                    sortable = (1, render_value(value))
+                else:
+                    sortable = (1, str(value))
+                if item.descending and not is_null:
+                    if isinstance(sortable[1], float):
+                        sortable = (-sortable[0], -sortable[1])
+                    else:
+                        sortable = (-sortable[0], _Reversed(sortable[1]))
+                keys.append((null_rank, sortable))
+            return keys
+
+        ordered = [row for _index, row in sorted(enumerate(relation.rows), key=sort_key_for)]
+        return Relation(columns=relation.columns, rows=ordered)
+
+    def _apply_limit(self, relation: Relation, statement: ast.SelectStatement, outer: RowContext | None) -> Relation:
+        if statement.limit is None and statement.offset is None:
+            return relation
+        self._touch("executor.limit")
+        context = RowContext(outer=outer)
+        offset = 0
+        if statement.offset is not None:
+            offset_value = self.evaluator.evaluate(statement.offset, context)
+            offset = int(offset_value) if offset_value is not None else 0
+        rows = relation.rows[offset:]
+        if statement.limit is not None:
+            limit_value = self.evaluator.evaluate(statement.limit, context)
+            if limit_value is not None:
+                rows = rows[: int(limit_value)]
+        return Relation(columns=relation.columns, rows=rows)
+
+
+class _Reversed:
+    """Wrapper inverting comparison order for DESC sorts over strings."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value

@@ -1,0 +1,423 @@
+"""Expression evaluation with dialect-sensitive semantics.
+
+The evaluator is where most of the paper's semantic incompatibilities live:
+
+* ``/`` on two integers truncates (SQLite, PostgreSQL) or produces a decimal
+  result (MySQL, DuckDB) depending on the dialect profile,
+* ``'abc' + 1`` works only where weak typing allows it,
+* ``||`` is concatenation except for MySQL, where it is logical OR,
+* ``::`` casts exist only in PostgreSQL/DuckDB,
+* row-value comparison with a NULL component returns NULL except in DuckDB,
+* ``COALESCE(1, 1.0)`` keeps integer typing only in SQLite (implemented in the
+  function registry).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.dialects.base import DialectProfile, DivisionSemantics
+from repro.engine import ast_nodes as ast
+from repro.engine.functions import FunctionRegistry
+from repro.engine.values import compare_values, to_boolean, to_number, cast_value
+from repro.errors import (
+    CatalogError,
+    ConversionError,
+    DatabaseError,
+    UnsupportedOperatorError,
+    UnsupportedTypeError,
+)
+
+
+class RowContext:
+    """Column name -> value bindings for the row currently being evaluated.
+
+    Both bare (``a``) and qualified (``t1.a``) names are stored; an outer
+    context supports correlated subqueries.
+    """
+
+    def __init__(self, values: dict[str, Any] | None = None, outer: "RowContext | None" = None):
+        self.values: dict[str, Any] = values or {}
+        self.outer = outer
+
+    def bind(self, name: str, value: Any) -> None:
+        self.values[name.lower()] = value
+
+    def lookup(self, name: str, table: str | None = None) -> Any:
+        key = f"{table}.{name}".lower() if table else name.lower()
+        if key in self.values:
+            return self.values[key]
+        if table is None:
+            # try any qualified binding that ends with .name
+            suffix = f".{name.lower()}"
+            matches = [binding for binding in self.values if binding.endswith(suffix)]
+            if len(matches) == 1:
+                return self.values[matches[0]]
+            if len(matches) > 1:
+                raise CatalogError(f"ambiguous column name: {name}")
+        if self.outer is not None:
+            return self.outer.lookup(name, table)
+        raise CatalogError(f"no such column: {key}")
+
+    def has(self, name: str, table: str | None = None) -> bool:
+        try:
+            self.lookup(name, table)
+            return True
+        except CatalogError:
+            return False
+
+
+class ExpressionEvaluator:
+    """Evaluates expression AST nodes against a :class:`RowContext`."""
+
+    def __init__(
+        self,
+        dialect: DialectProfile,
+        functions: FunctionRegistry,
+        subquery_executor: Callable[[ast.SelectStatement, RowContext | None], list[list[Any]]] | None = None,
+        feature_hook: Callable[[str], None] | None = None,
+    ):
+        self.dialect = dialect
+        self.functions = functions
+        self.subquery_executor = subquery_executor
+        self._feature_hook = feature_hook or (lambda name: None)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _touch(self, feature: str) -> None:
+        self._feature_hook(feature)
+
+    def _numeric(self, value: Any) -> int | float | None:
+        return to_number(value, strict=self.dialect.strict_types and not self.dialect.allows_string_plus_integer)
+
+    # -- entry point ------------------------------------------------------------
+
+    def evaluate(self, node: ast.Expression, context: RowContext) -> Any:
+        method_name = "_eval_" + type(node).__name__.lower()
+        method = getattr(self, method_name, None)
+        if method is None:
+            raise DatabaseError(f"cannot evaluate expression node {type(node).__name__}")
+        return method(node, context)
+
+    def evaluate_predicate(self, node: ast.Expression, context: RowContext) -> bool:
+        """Evaluate ``node`` as a WHERE/HAVING predicate (NULL counts as false)."""
+        result = self.evaluate(node, context)
+        if result is None:
+            return False
+        if isinstance(result, bool):
+            return result
+        if isinstance(result, (int, float)):
+            return result != 0
+        if isinstance(result, str):
+            try:
+                return bool(to_boolean(result))
+            except ConversionError:
+                return False
+        return bool(result)
+
+    # -- node handlers ------------------------------------------------------------
+
+    def _eval_literal(self, node: ast.Literal, context: RowContext) -> Any:
+        return node.value
+
+    def _eval_columnref(self, node: ast.ColumnRef, context: RowContext) -> Any:
+        return context.lookup(node.name, node.table)
+
+    def _eval_star(self, node: ast.Star, context: RowContext) -> Any:
+        raise DatabaseError("* is only valid in a SELECT projection or COUNT(*)")
+
+    def _eval_unaryop(self, node: ast.UnaryOp, context: RowContext) -> Any:
+        operand = self.evaluate(node.operand, context)
+        if node.operator == "NOT":
+            if operand is None:
+                return None
+            return not bool(operand)
+        if node.operator == "-":
+            number = self._numeric(operand)
+            return None if number is None else -number
+        if node.operator == "~":
+            number = self._numeric(operand)
+            return None if number is None else ~int(number)
+        raise UnsupportedOperatorError(f"unsupported unary operator {node.operator}")
+
+    def _eval_binaryop(self, node: ast.BinaryOp, context: RowContext) -> Any:
+        operator = node.operator
+        self._touch(f"operator.{operator}")
+
+        if operator in ("AND", "OR"):
+            left = self.evaluate(node.left, context)
+            right = self.evaluate(node.right, context)
+            return self._logical(operator, left, right)
+
+        left = self.evaluate(node.left, context)
+        right = self.evaluate(node.right, context)
+
+        if operator in ("=", "!=", "<", ">", "<=", ">="):
+            return self._comparison(operator, left, right)
+        if operator in ("IS", "IS NOT"):
+            equal = self._is_equal(left, right)
+            return equal if operator == "IS" else not equal
+        if operator in ("IS DISTINCT FROM", "IS NOT DISTINCT FROM"):
+            equal = self._is_equal(left, right)
+            return (not equal) if operator == "IS DISTINCT FROM" else equal
+        if operator == "||":
+            return self._concat_or_or(left, right)
+        if operator in ("+", "-", "*", "/", "%", "DIV"):
+            return self._arithmetic(operator, left, right)
+        raise UnsupportedOperatorError(f"unsupported operator {operator}")
+
+    def _logical(self, operator: str, left: Any, right: Any) -> Any:
+        def as_bool(value: Any) -> bool | None:
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, (int, float)):
+                return value != 0
+            try:
+                return to_boolean(value)
+            except ConversionError:
+                return None
+
+        left_bool, right_bool = as_bool(left), as_bool(right)
+        if operator == "AND":
+            if left_bool is False or right_bool is False:
+                return False
+            if left_bool is None or right_bool is None:
+                return None
+            return True
+        if left_bool is True or right_bool is True:
+            return True
+        if left_bool is None or right_bool is None:
+            return None
+        return False
+
+    def _comparison(self, operator: str, left: Any, right: Any) -> Any:
+        # Row values compare element-wise; a NULL component yields NULL except
+        # in DuckDB's documented deviation (Listing 17).
+        if isinstance(left, tuple) or isinstance(right, tuple):
+            return self._row_value_comparison(operator, left, right)
+        result = compare_values(left, right)
+        if result is None:
+            return None
+        if operator == "=":
+            return result == 0
+        if operator == "!=":
+            return result != 0
+        if operator == "<":
+            return result < 0
+        if operator == ">":
+            return result > 0
+        if operator == "<=":
+            return result <= 0
+        return result >= 0
+
+    def _row_value_comparison(self, operator: str, left: Any, right: Any) -> Any:
+        left_items = list(left) if isinstance(left, tuple) else [left]
+        right_items = list(right) if isinstance(right, tuple) else [right]
+        has_null = any(item is None for item in left_items + right_items)
+        if has_null:
+            if self.dialect.row_value_null_comparison == "true":
+                self._touch("semantic.row_value_null_true")
+                return True
+            return None
+        for left_item, right_item in zip(left_items, right_items):
+            item_result = compare_values(left_item, right_item)
+            if item_result is None:
+                return None
+            if item_result != 0:
+                return self._comparison(operator, item_result, 0)
+        return self._comparison(operator, 0, 0)
+
+    def _is_equal(self, left: Any, right: Any) -> bool:
+        if left is None and right is None:
+            return True
+        if left is None or right is None:
+            return False
+        return compare_values(left, right) == 0
+
+    def _concat_or_or(self, left: Any, right: Any) -> Any:
+        if not self.dialect.pipes_as_concat:
+            # MySQL default: || is logical OR.
+            self._touch("semantic.pipes_as_or")
+            return self._logical("OR", left, right)
+        if left is None or right is None:
+            return None
+        from repro.engine.values import render_value
+
+        def text_of(value: Any) -> str:
+            if isinstance(value, str):
+                return value
+            return render_value(value)
+
+        return text_of(left) + text_of(right)
+
+    def _arithmetic(self, operator: str, left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        # string + integer: allowed only on weakly-typed dialects
+        if operator == "+" and (isinstance(left, str) or isinstance(right, str)):
+            if not self.dialect.allows_string_plus_integer:
+                raise UnsupportedOperatorError("operator + does not accept text operands in this dialect")
+            self._touch("semantic.string_plus_integer")
+        left_number = self._numeric(left)
+        right_number = self._numeric(right)
+        if left_number is None or right_number is None:
+            return None
+        if operator == "+":
+            return left_number + right_number
+        if operator == "-":
+            return left_number - right_number
+        if operator == "*":
+            return left_number * right_number
+        if operator == "%":
+            if right_number == 0:
+                return None
+            return left_number % right_number
+        if operator == "DIV":
+            if not self.dialect.supports_div_operator:
+                raise UnsupportedOperatorError("DIV operator is not supported in this dialect")
+            if right_number == 0:
+                return None
+            self._touch("semantic.div_operator")
+            result = abs(left_number) // abs(right_number)
+            if (left_number < 0) != (right_number < 0):
+                result = -result
+            return int(result)
+        # division
+        if right_number == 0:
+            if self.dialect.name in ("postgres", "duckdb"):
+                raise DatabaseError("division by zero")
+            return None
+        both_integers = isinstance(left_number, int) and isinstance(right_number, int)
+        if both_integers and self.dialect.division is DivisionSemantics.INTEGER:
+            self._touch("semantic.integer_division")
+            quotient = abs(left_number) // abs(right_number)
+            if (left_number < 0) != (right_number < 0):
+                quotient = -quotient
+            return int(quotient)
+        self._touch("semantic.decimal_division")
+        return left_number / right_number
+
+    def _eval_functioncall(self, node: ast.FunctionCall, context: RowContext) -> Any:
+        self._touch(f"function.{node.name}")
+        args = [self.evaluate(arg, context) for arg in node.args]
+        return self.functions.call_scalar(node.name, args)
+
+    def _eval_cast(self, node: ast.Cast, context: RowContext) -> Any:
+        if node.via_double_colon and not self.dialect.supports_double_colon_cast:
+            raise UnsupportedOperatorError("the :: cast operator is not supported in this dialect")
+        self._touch("operator.cast")
+        operand = self.evaluate(node.operand, context)
+        base = node.type_name.split("(")[0].strip().upper()
+        if not self.dialect.supports_type(base) and base not in ("INTEGER", "TEXT", "REAL"):
+            raise UnsupportedTypeError(f"unknown data type: {node.type_name}")
+        try:
+            return cast_value(
+                operand,
+                node.type_name,
+                strict=self.dialect.strict_types,
+                boolean_accepts_integers=self.dialect.boolean_accepts_integers,
+            )
+        except UnsupportedTypeError:
+            raise
+        except ConversionError:
+            if self.dialect.strict_types:
+                raise
+            return operand
+
+    def _eval_caseexpression(self, node: ast.CaseExpression, context: RowContext) -> Any:
+        self._touch("expression.case")
+        if node.operand is not None:
+            subject = self.evaluate(node.operand, context)
+            for condition, result in node.whens:
+                candidate = self.evaluate(condition, context)
+                if compare_values(subject, candidate) == 0:
+                    return self.evaluate(result, context)
+        else:
+            for condition, result in node.whens:
+                if self.evaluate_predicate(condition, context):
+                    return self.evaluate(result, context)
+        if node.default is not None:
+            return self.evaluate(node.default, context)
+        return None
+
+    def _eval_inexpression(self, node: ast.InExpression, context: RowContext) -> Any:
+        self._touch("expression.in")
+        operand = self.evaluate(node.operand, context)
+        if node.subquery is not None:
+            rows = self._run_subquery(node.subquery, context)
+            candidates = [row[0] if row else None for row in rows]
+        else:
+            candidates = [self.evaluate(item, context) for item in node.items]
+        if operand is None:
+            return None
+        saw_null = False
+        for candidate in candidates:
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare_values(operand, candidate) == 0:
+                return not node.negated
+        if saw_null:
+            return None
+        return node.negated
+
+    def _eval_betweenexpression(self, node: ast.BetweenExpression, context: RowContext) -> Any:
+        self._touch("expression.between")
+        operand = self.evaluate(node.operand, context)
+        low = self.evaluate(node.low, context)
+        high = self.evaluate(node.high, context)
+        if operand is None or low is None or high is None:
+            return None
+        inside = compare_values(operand, low) >= 0 and compare_values(operand, high) <= 0
+        return inside != node.negated
+
+    def _eval_likeexpression(self, node: ast.LikeExpression, context: RowContext) -> Any:
+        self._touch("expression.like")
+        operand = self.evaluate(node.operand, context)
+        pattern = self.evaluate(node.pattern, context)
+        if operand is None or pattern is None:
+            return None
+        regex = re.escape(str(pattern)).replace("%", ".*").replace("_", ".").replace(r"\%", "%").replace(r"\_", "_")
+        # re.escape escapes % and _ as themselves (no backslash needed), handle both
+        regex = "^" + re.escape(str(pattern)).replace(r"\%", ".*").replace("%", ".*").replace("_", ".") + "$"
+        flags = re.IGNORECASE if (node.case_insensitive or self.dialect.name in ("mysql", "sqlite")) else 0
+        matched = re.match(regex, str(operand), flags) is not None
+        return matched != node.negated
+
+    def _eval_isnullexpression(self, node: ast.IsNullExpression, context: RowContext) -> Any:
+        operand = self.evaluate(node.operand, context)
+        result = operand is None
+        return result != node.negated
+
+    def _eval_existsexpression(self, node: ast.ExistsExpression, context: RowContext) -> Any:
+        self._touch("expression.exists")
+        rows = self._run_subquery(node.subquery, context)
+        return bool(rows) != node.negated
+
+    def _eval_scalarsubquery(self, node: ast.ScalarSubquery, context: RowContext) -> Any:
+        self._touch("expression.scalar_subquery")
+        rows = self._run_subquery(node.subquery, context)
+        if not rows:
+            return None
+        return rows[0][0] if rows[0] else None
+
+    def _eval_rowvalue(self, node: ast.RowValue, context: RowContext) -> Any:
+        return tuple(self.evaluate(item, context) for item in node.items)
+
+    def _eval_listliteral(self, node: ast.ListLiteral, context: RowContext) -> Any:
+        self._touch("type.list")
+        return [self.evaluate(item, context) for item in node.items]
+
+    def _eval_structliteral(self, node: ast.StructLiteral, context: RowContext) -> Any:
+        self._touch("type.struct")
+        return {key: self.evaluate(value, context) for key, value in node.items}
+
+    # -- subqueries ----------------------------------------------------------------
+
+    def _run_subquery(self, statement: ast.SelectStatement, context: RowContext) -> list[list[Any]]:
+        if self.subquery_executor is None:
+            raise DatabaseError("subqueries are not available in this context")
+        return self.subquery_executor(statement, context)

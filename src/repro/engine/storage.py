@@ -1,0 +1,277 @@
+"""In-memory storage layer: columns, tables, indexes, views, schemas, catalog.
+
+The storage model is deliberately simple — row lists guarded by a catalog —
+because the reproduction's experiments stress dialect semantics and test-suite
+mechanics, not storage performance.  Indexes are maintained (and used for
+point-lookups) so that ``CREATE INDEX``-heavy SLT files exercise a real code
+path, which matters for the Table 8 coverage experiment.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import CatalogError, ConstraintViolationError
+from repro.engine.values import coerce_to_declared
+
+
+@dataclass
+class Column:
+    """Schema information for one table column."""
+
+    name: str
+    type_name: str | None = None
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    default: Any = None
+    has_default: bool = False
+
+
+@dataclass
+class Index:
+    """A secondary index over one or more columns of a table."""
+
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+    entries: dict[tuple, list[int]] = field(default_factory=dict)
+
+    def rebuild(self, table: "Table") -> None:
+        """Recompute the key -> row-position mapping from the table's rows."""
+        self.entries.clear()
+        positions = [table.column_position(column) for column in self.columns]
+        for row_index, row in enumerate(table.rows):
+            key = tuple(row[position] for position in positions)
+            self.entries.setdefault(key, []).append(row_index)
+
+    def check_unique(self, table: "Table") -> None:
+        if not self.unique:
+            return
+        for key, row_indexes in self.entries.items():
+            if len(row_indexes) > 1 and all(part is not None for part in key):
+                raise ConstraintViolationError(f"UNIQUE constraint failed on index {self.name} for key {key}")
+
+
+class Table:
+    """A base table: column schema plus a list of row tuples (as lists)."""
+
+    def __init__(self, name: str, columns: list[Column]):
+        self.name = name
+        self.columns = columns
+        self.rows: list[list[Any]] = []
+        self.indexes: dict[str, Index] = {}
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column_position(self, name: str) -> int:
+        lowered = name.lower()
+        for position, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return position
+        raise CatalogError(f"no such column: {self.name}.{name}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+    def insert_row(self, values: list[Any], strict_types: bool, boolean_accepts_integers: bool = True) -> None:
+        """Insert one row after applying column coercion and constraints."""
+        if len(values) != len(self.columns):
+            raise ConstraintViolationError(
+                f"table {self.name} has {len(self.columns)} columns but {len(values)} values were supplied"
+            )
+        coerced: list[Any] = []
+        for column, value in zip(self.columns, values):
+            converted = coerce_to_declared(value, column.type_name, strict_types, boolean_accepts_integers)
+            if converted is None and (column.not_null or column.primary_key):
+                raise ConstraintViolationError(f"NOT NULL constraint failed: {self.name}.{column.name}")
+            coerced.append(converted)
+        self._check_primary_key(coerced)
+        self.rows.append(coerced)
+        self._refresh_indexes()
+
+    def _check_primary_key(self, new_row: list[Any]) -> None:
+        key_positions = [index for index, column in enumerate(self.columns) if column.primary_key]
+        unique_positions = [index for index, column in enumerate(self.columns) if column.unique]
+        if key_positions:
+            new_key = tuple(new_row[position] for position in key_positions)
+            if all(part is not None for part in new_key):
+                for row in self.rows:
+                    if tuple(row[position] for position in key_positions) == new_key:
+                        raise ConstraintViolationError(f"PRIMARY KEY constraint failed: {self.name}")
+        for position in unique_positions:
+            value = new_row[position]
+            if value is None:
+                continue
+            for row in self.rows:
+                if row[position] == value:
+                    raise ConstraintViolationError(f"UNIQUE constraint failed: {self.name}.{self.columns[position].name}")
+
+    def delete_rows(self, row_indexes: Iterable[int]) -> int:
+        doomed = set(row_indexes)
+        before = len(self.rows)
+        self.rows = [row for index, row in enumerate(self.rows) if index not in doomed]
+        self._refresh_indexes()
+        return before - len(self.rows)
+
+    def _refresh_indexes(self) -> None:
+        for index in self.indexes.values():
+            index.rebuild(self)
+
+    def copy(self) -> "Table":
+        clone = Table(self.name, copy.deepcopy(self.columns))
+        clone.rows = [list(row) for row in self.rows]
+        clone.indexes = copy.deepcopy(self.indexes)
+        return clone
+
+
+@dataclass
+class View:
+    """A named stored query."""
+
+    name: str
+    query: Any  # ast.SelectStatement; Any avoids an import cycle
+
+
+class Database:
+    """The catalog: tables, views, indexes, and schemas of one database."""
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        self.views: dict[str, View] = {}
+        self.schemas: dict[str, dict] = {"main": {}}
+
+    # -- tables ---------------------------------------------------------------
+
+    def create_table(self, table: Table, if_not_exists: bool = False) -> None:
+        key = table.name.lower()
+        if key in self.tables or key in self.views:
+            if if_not_exists:
+                return
+            raise CatalogError(f"table {table.name} already exists")
+        self.tables[key] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no such table: {name}")
+        del self.tables[key]
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table: {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def rename_table(self, old: str, new: str) -> None:
+        table = self.get_table(old)
+        if new.lower() in self.tables:
+            raise CatalogError(f"table {new} already exists")
+        del self.tables[old.lower()]
+        table.name = new
+        self.tables[new.lower()] = table
+
+    # -- views ----------------------------------------------------------------
+
+    def create_view(self, view: View, if_not_exists: bool = False, or_replace: bool = False) -> None:
+        key = view.name.lower()
+        if key in self.views and not or_replace:
+            if if_not_exists:
+                return
+            raise CatalogError(f"view {view.name} already exists")
+        if key in self.tables:
+            raise CatalogError(f"table {view.name} already exists")
+        self.views[key] = view
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.views:
+            if if_exists:
+                return
+            raise CatalogError(f"no such view: {name}")
+        del self.views[key]
+
+    def get_view(self, name: str) -> View | None:
+        return self.views.get(name.lower())
+
+    # -- indexes ---------------------------------------------------------------
+
+    def create_index(self, index: Index, if_not_exists: bool = False) -> None:
+        table = self.get_table(index.table)
+        for column in index.columns:
+            table.column_position(column)  # raises CatalogError if missing
+        existing = self.find_index(index.name)
+        if existing is not None:
+            if if_not_exists:
+                return
+            raise CatalogError(f"index {index.name} already exists")
+        index.rebuild(table)
+        index.check_unique(table)
+        table.indexes[index.name.lower()] = index
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        for table in self.tables.values():
+            if name.lower() in table.indexes:
+                del table.indexes[name.lower()]
+                return
+        if not if_exists:
+            raise CatalogError(f"no such index: {name}")
+
+    def find_index(self, name: str) -> Index | None:
+        for table in self.tables.values():
+            index = table.indexes.get(name.lower())
+            if index is not None:
+                return index
+        return None
+
+    # -- schemas ----------------------------------------------------------------
+
+    def create_schema(self, name: str, if_not_exists: bool = False) -> None:
+        key = name.lower()
+        if key in self.schemas:
+            if if_not_exists:
+                return
+            raise CatalogError(f"schema {name} already exists")
+        self.schemas[key] = {}
+
+    def drop_schema(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.schemas:
+            if if_exists:
+                return
+            raise CatalogError(f"no such schema: {name}")
+        if key == "main":
+            raise CatalogError("cannot drop schema main")
+        del self.schemas[key]
+
+    def rename_schema(self, old: str, new: str) -> None:
+        key = old.lower()
+        if key not in self.schemas:
+            raise CatalogError(f"no such schema: {old}")
+        self.schemas[new.lower()] = self.schemas.pop(key)
+
+    # -- snapshots (used by the transaction manager) ------------------------------
+
+    def snapshot(self) -> dict:
+        """Deep-copy the whole catalog for transaction rollback."""
+        return {
+            "tables": {name: table.copy() for name, table in self.tables.items()},
+            "views": dict(self.views),
+            "schemas": copy.deepcopy(self.schemas),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.tables = snapshot["tables"]
+        self.views = snapshot["views"]
+        self.schemas = snapshot["schemas"]

@@ -1,0 +1,129 @@
+"""Exception hierarchy shared across the SQuaLity reproduction library.
+
+Every package in :mod:`repro` raises exceptions derived from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+
+The DBMS-facing part of the hierarchy deliberately mirrors the taxonomy the
+paper uses when classifying failed test cases (RQ4, Table 6): unsupported
+statements, functions, types, operators, configuration problems, and semantic
+mismatches each have a dedicated exception type, which lets the failure
+classifier work from exception types rather than brittle message matching
+whenever the engine is one of ours.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Parsing-related errors (test-file formats and SQL text)
+# ---------------------------------------------------------------------------
+
+
+class TestFormatError(ReproError):
+    """A test file could not be parsed in its declared native format."""
+
+    def __init__(self, message: str, path: str | None = None, line: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.line = line
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        location = ""
+        if self.path is not None:
+            location = f" [{self.path}"
+            if self.line is not None:
+                location += f":{self.line}"
+            location += "]"
+        return super().__str__() + location
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class TranslationError(ReproError):
+    """A statement could not be translated between SQL dialects."""
+
+
+# ---------------------------------------------------------------------------
+# Engine/adapter errors, mirroring the RQ4 failure taxonomy
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for errors reported by a DBMS adapter or by MiniDB."""
+
+
+class UnsupportedStatementError(DatabaseError):
+    """The host DBMS does not support this statement (RQ4 ``Statements``)."""
+
+
+class UnsupportedFunctionError(DatabaseError):
+    """The host DBMS does not provide the referenced function (``Functions``)."""
+
+
+class UnsupportedTypeError(DatabaseError):
+    """The host DBMS does not support the referenced data type (``Types``)."""
+
+
+class UnsupportedOperatorError(DatabaseError):
+    """The host DBMS does not support the operator / operand pair (``Operators``)."""
+
+
+class ConfigurationError(DatabaseError):
+    """An unknown setting or configuration variable was referenced (``Configurations``)."""
+
+
+class ConstraintViolationError(DatabaseError):
+    """A constraint (NOT NULL, PRIMARY KEY, CHECK) was violated."""
+
+
+class CatalogError(DatabaseError):
+    """A referenced table, view, index, column, or schema does not exist (or already exists)."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state transition (e.g. COMMIT without BEGIN)."""
+
+
+class ConversionError(DatabaseError):
+    """A value could not be converted to the requested type."""
+
+
+class EngineCrash(DatabaseError):
+    """The engine terminated unexpectedly while executing a statement.
+
+    Used by the fault-emulation layer to reproduce the crash bugs reported in
+    the paper (Listings 12-14).  A crash is *never* an expected outcome for a
+    test case, so the runner records it separately from ordinary failures.
+    """
+
+
+class EngineHang(DatabaseError):
+    """The engine exceeded its execution time budget (Listings 15-16)."""
+
+    def __init__(self, message: str, elapsed: float | None = None):
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+# ---------------------------------------------------------------------------
+# Runner-level errors
+# ---------------------------------------------------------------------------
+
+
+class RunnerError(ReproError):
+    """The unified test runner hit an unrecoverable problem (not a test failure)."""
+
+
+class UnknownCommandError(RunnerError):
+    """A test file used a runner command that SQuaLity does not implement."""
+
+
+class AdapterNotFoundError(RunnerError):
+    """No adapter is registered under the requested name."""

@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every experiment implements ``run(context) -> ExperimentResult``; the shared
+:class:`~repro.experiments.context.ExperimentContext` caches the generated
+corpora and the cross-execution matrix so that benchmarks regenerating several
+tables do not repeat the expensive steps.
+
+Use :func:`repro.experiments.registry.run_experiment` to run one by id
+(``"table4"``, ``"figure2"``, ...), or ``python -m repro.experiments`` for the
+command-line interface.
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentContext", "ExperimentResult", "EXPERIMENTS", "run_experiment"]

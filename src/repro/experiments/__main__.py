@@ -1,0 +1,35 @@
+"""Command line: ``python -m repro.experiments [experiment-id ...] [--scale S] [--seed N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run SQuaLity reproduction experiments (tables and figures)")
+    parser.add_argument("experiments", nargs="*", default=[], help="experiment ids (default: all); e.g. table4 figure2 bugs")
+    parser.add_argument("--scale", type=float, default=1.0, help="corpus scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0, help="corpus generation seed (default 0)")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        for experiment_id, (title, _runner) in EXPERIMENTS.items():
+            print(f"{experiment_id:10s} {title}")
+        return 0
+
+    selected = arguments.experiments or list(EXPERIMENTS)
+    context = ExperimentContext(scale=arguments.scale, seed=arguments.seed)
+    for experiment_id in selected:
+        result = run_experiment(experiment_id, context)
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Shared state for experiment drivers: corpora and execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.records import TestSuite
+from repro.core.transplant import DEFAULT_HOSTS, TransplantMatrix, run_matrix
+from repro.corpus import build_all_suites, build_suite
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: a formatted report plus raw data."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+class ExperimentContext:
+    """Caches corpora and cross-execution results shared by the experiments.
+
+    ``scale`` scales the number of generated test files per suite (1.0 is the
+    laptop-sized default documented in EXPERIMENTS.md); ``seed`` makes the
+    whole campaign deterministic.
+    """
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, hosts: tuple[str, ...] = DEFAULT_HOSTS):
+        self.scale = scale
+        self.seed = seed
+        self.hosts = hosts
+        self._suites: dict[str, TestSuite] | None = None
+        self._mysql_suite: TestSuite | None = None
+        self._matrix: TransplantMatrix | None = None
+        self._translated_matrix: TransplantMatrix | None = None
+
+    # -- corpora -------------------------------------------------------------------
+
+    @property
+    def suites(self) -> dict[str, TestSuite]:
+        """The three executable suites (SLT, PostgreSQL, DuckDB)."""
+        if self._suites is None:
+            self._suites = build_all_suites(seed=self.seed, scale=self.scale)
+        return self._suites
+
+    @property
+    def mysql_suite(self) -> TestSuite:
+        """The MySQL corpus (analysed for RQ1/Figure 1, not executed)."""
+        if self._mysql_suite is None:
+            from repro.corpus.generate import DEFAULT_FILE_COUNT
+
+            file_count = max(3, int(round(DEFAULT_FILE_COUNT["mysql"] * self.scale)))
+            self._mysql_suite = build_suite("mysql", file_count=file_count, seed=self.seed)
+        return self._mysql_suite
+
+    def all_suites_with_mysql(self) -> dict[str, TestSuite]:
+        suites = dict(self.suites)
+        suites["mysql"] = self.mysql_suite
+        return suites
+
+    # -- execution results -----------------------------------------------------------
+
+    @property
+    def matrix(self) -> TransplantMatrix:
+        """The full cross-execution matrix (every suite on every host)."""
+        if self._matrix is None:
+            self._matrix = run_matrix(self.suites, hosts=self.hosts)
+        return self._matrix
+
+    @property
+    def translated_matrix(self) -> TransplantMatrix:
+        """The same matrix with the cross-dialect translator enabled (ablation)."""
+        if self._translated_matrix is None:
+            self._translated_matrix = run_matrix(self.suites, hosts=self.hosts, translate_dialect=True)
+        return self._translated_matrix
+
+    def donor_result(self, suite: str):
+        """The donor-on-donor transplant result for one suite."""
+        from repro.core.transplant import DONOR_OF_SUITE
+
+        return self.matrix.get(suite, DONOR_OF_SUITE[suite])

@@ -1,0 +1,43 @@
+"""Registry of experiment drivers and the command-line entry point."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    bugs,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.context import ExperimentContext, ExperimentResult
+
+#: experiment id -> (title, run callable)
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult]]] = {
+    module.EXPERIMENT_ID: (module.TITLE, module.run)
+    for module in (table1, figure1, table2, figure2, table3, figure3, table4, table5, figure4, table6, table7, table8, bugs, ablations)
+}
+
+
+def run_experiment(experiment_id: str, context: ExperimentContext | None = None) -> ExperimentResult:
+    """Run one experiment by id (``"table4"``, ``"figure2"``, ``"bugs"``, ...)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    _title, runner = EXPERIMENTS[experiment_id]
+    return runner(context or ExperimentContext())
+
+
+def run_all(context: ExperimentContext | None = None) -> list[ExperimentResult]:
+    """Run every registered experiment, sharing one context."""
+    shared = context or ExperimentContext()
+    return [run_experiment(experiment_id, shared) for experiment_id in EXPERIMENTS]

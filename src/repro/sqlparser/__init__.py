@@ -1,0 +1,47 @@
+"""Best-effort, dialect-agnostic SQL analysis.
+
+This subpackage replaces the ``sqlparse`` dependency used by the paper's
+artifact.  It provides:
+
+* :mod:`repro.sqlparser.tokenizer` — a SQL tokenizer that understands string
+  literals, quoted identifiers, numbers, operators, and comments of all four
+  studied dialects.
+* :mod:`repro.sqlparser.statements` — statement splitting, statement-type
+  classification (``SELECT``, ``CREATE TABLE``, ``PRAGMA``, ...), and
+  SQL-standard compliance classification used by RQ2.
+* :mod:`repro.sqlparser.analyzer` — structural analyses of individual
+  statements (WHERE-predicate token counts, join detection, referenced
+  functions), used by RQ2's Figure 3 and by the failure classifier.
+"""
+
+from repro.sqlparser.tokenizer import Token, TokenType, tokenize
+from repro.sqlparser.statements import (
+    StatementInfo,
+    classify_statement,
+    is_standard_statement,
+    split_statements,
+    statement_type,
+)
+from repro.sqlparser.analyzer import (
+    JoinKind,
+    SelectShape,
+    analyze_select,
+    extract_function_names,
+    where_token_count,
+)
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "StatementInfo",
+    "classify_statement",
+    "is_standard_statement",
+    "split_statements",
+    "statement_type",
+    "JoinKind",
+    "SelectShape",
+    "analyze_select",
+    "extract_function_names",
+    "where_token_count",
+]

@@ -1,0 +1,231 @@
+"""Structural analyses of individual SQL statements.
+
+Used by RQ2 (Figure 3: distribution of tokens in WHERE predicates, join
+complexity) and by the failure classifier (extracting referenced function
+names, cast operators, and configuration variables from failing statements).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sqlparser.tokenizer import Token, TokenType, tokenize
+
+
+class JoinKind(enum.Enum):
+    """Join syntax families distinguished by the paper's RQ2 analysis."""
+
+    NONE = "none"
+    IMPLICIT = "implicit"
+    INNER = "inner"
+    LEFT = "left"
+    RIGHT = "right"
+    FULL = "full"
+    CROSS = "cross"
+    ASOF = "asof"
+
+
+@dataclass
+class SelectShape:
+    """Structural summary of a single SELECT statement."""
+
+    has_where: bool = False
+    where_tokens: int = 0
+    join_kinds: list[JoinKind] = field(default_factory=list)
+    from_table_count: int = 0
+    has_group_by: bool = False
+    has_order_by: bool = False
+    has_limit: bool = False
+    has_subquery: bool = False
+    has_aggregate: bool = False
+    function_names: list[str] = field(default_factory=list)
+
+    @property
+    def join_kind(self) -> JoinKind:
+        """The dominant join kind (explicit joins win over implicit ones)."""
+        explicit = [kind for kind in self.join_kinds if kind not in (JoinKind.NONE, JoinKind.IMPLICIT)]
+        if explicit:
+            return explicit[0]
+        if JoinKind.IMPLICIT in self.join_kinds:
+            return JoinKind.IMPLICIT
+        return JoinKind.NONE
+
+    @property
+    def has_join(self) -> bool:
+        return self.join_kind is not JoinKind.NONE
+
+
+_AGGREGATE_FUNCTIONS = {"count", "sum", "avg", "min", "max", "median", "group_concat", "string_agg", "total"}
+
+#: Keywords that terminate a WHERE clause at the same nesting depth.
+_WHERE_TERMINATORS = {"GROUP", "ORDER", "LIMIT", "OFFSET", "HAVING", "UNION", "INTERSECT", "EXCEPT", "WINDOW", "FETCH"}
+
+
+def _safe_tokenize(sql: str) -> list[Token]:
+    try:
+        return tokenize(sql)
+    except Exception:
+        return []
+
+
+def where_token_count(sql: str) -> int:
+    """Count significant tokens in the (first, top-level) WHERE predicate.
+
+    Returns 0 when the statement has no WHERE clause, which the paper plots as
+    the ``0`` bucket of Figure 3.  The count includes identifiers, literals,
+    operators, and keywords of the predicate, but not the ``WHERE`` keyword
+    itself — matching a simple "how complex is this predicate" reading.
+    """
+    tokens = _safe_tokenize(sql)
+    count = 0
+    depth = 0
+    in_where = False
+    where_depth = 0
+    for token in tokens:
+        if token.type is TokenType.PUNCTUATION:
+            if token.value == "(":
+                depth += 1
+            elif token.value == ")":
+                depth -= 1
+                if in_where and depth < where_depth:
+                    break
+        if not in_where:
+            if token.is_keyword("WHERE"):
+                in_where = True
+                where_depth = depth
+            continue
+        if token.type is TokenType.KEYWORD and depth == where_depth and token.normalized in _WHERE_TERMINATORS:
+            break
+        if token.type is TokenType.PUNCTUATION and token.value == ";":
+            break
+        count += 1
+    return count
+
+
+def extract_function_names(sql: str) -> list[str]:
+    """Return lowercase names of all function-call sites in ``sql``.
+
+    A function call is an identifier (or non-reserved keyword such as ``LEFT``)
+    immediately followed by an opening parenthesis.  Duplicates are preserved
+    in call order, which lets callers count usage frequency.
+    """
+    tokens = _safe_tokenize(sql)
+    names: list[str] = []
+    for current, nxt in zip(tokens, tokens[1:]):
+        if nxt.type is TokenType.PUNCTUATION and nxt.value == "(":
+            if current.type is TokenType.IDENTIFIER:
+                names.append(current.normalized)
+            elif current.type is TokenType.KEYWORD and current.normalized in ("LEFT", "RIGHT", "REPLACE", "IF"):
+                names.append(current.normalized.lower())
+    return names
+
+
+def uses_cast_operator(sql: str) -> bool:
+    """True when the statement uses the PostgreSQL/DuckDB ``::`` cast operator."""
+    return any(token.type is TokenType.OPERATOR and token.value == "::" for token in _safe_tokenize(sql))
+
+
+def referenced_settings(sql: str) -> list[str]:
+    """Extract setting names referenced by SET / PRAGMA statements."""
+    tokens = _safe_tokenize(sql)
+    if not tokens:
+        return []
+    head = tokens[0]
+    if head.is_keyword("SET") or head.is_keyword("PRAGMA"):
+        names = []
+        for token in tokens[1:]:
+            if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+                names.append(token.normalized)
+                break
+            if token.type is TokenType.KEYWORD and token.normalized not in ("LOCAL", "SESSION", "GLOBAL", "TO"):
+                names.append(token.normalized.lower())
+                break
+        return names
+    return []
+
+
+def analyze_select(sql: str) -> SelectShape:
+    """Analyze the structure of a SELECT statement (joins, WHERE, aggregates)."""
+    shape = SelectShape()
+    tokens = _safe_tokenize(sql)
+    if not tokens:
+        return shape
+
+    shape.function_names = extract_function_names(sql)
+    shape.has_aggregate = any(name in _AGGREGATE_FUNCTIONS for name in shape.function_names)
+    shape.where_tokens = where_token_count(sql)
+    shape.has_where = shape.where_tokens > 0
+
+    depth = 0
+    in_from = False
+    from_depth = 0
+    select_seen = 0
+    previous_keyword = ""
+    for index, token in enumerate(tokens):
+        if token.type is TokenType.PUNCTUATION:
+            if token.value == "(":
+                depth += 1
+            elif token.value == ")":
+                depth -= 1
+                if in_from and depth < from_depth:
+                    in_from = False
+            continue
+        if token.type is not TokenType.KEYWORD:
+            if in_from and depth == from_depth and token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+                if previous_keyword not in ("AS", "ON", "USING") and (
+                    index == 0 or tokens[index - 1].value in (",", "FROM", "JOIN") or tokens[index - 1].is_keyword("FROM", "JOIN")
+                ):
+                    shape.from_table_count += 1
+            previous_keyword = ""
+            continue
+
+        keyword = token.normalized
+        if keyword == "SELECT":
+            select_seen += 1
+            if select_seen > 1 or depth > 0:
+                shape.has_subquery = shape.has_subquery or depth > 0 or select_seen > 1
+        elif keyword == "FROM" and depth == 0 and not in_from:
+            in_from = True
+            from_depth = depth
+        elif keyword in ("WHERE", "GROUP", "ORDER", "LIMIT", "HAVING", "UNION", "INTERSECT", "EXCEPT") and depth == from_depth:
+            in_from = False
+        if keyword == "GROUP":
+            shape.has_group_by = True
+        elif keyword == "ORDER":
+            shape.has_order_by = True
+        elif keyword == "LIMIT":
+            shape.has_limit = True
+        elif keyword == "JOIN":
+            kind = {
+                "INNER": JoinKind.INNER,
+                "LEFT": JoinKind.LEFT,
+                "RIGHT": JoinKind.RIGHT,
+                "FULL": JoinKind.FULL,
+                "CROSS": JoinKind.CROSS,
+                "ASOF": JoinKind.ASOF,
+                "OUTER": JoinKind.LEFT,
+            }.get(previous_keyword, JoinKind.INNER)
+            shape.join_kinds.append(kind)
+        previous_keyword = keyword
+
+    if not shape.join_kinds and shape.from_table_count > 1:
+        shape.join_kinds.append(JoinKind.IMPLICIT)
+    return shape
+
+
+def predicate_bucket(token_count: int) -> str:
+    """Map a WHERE token count onto the buckets used by Figure 3."""
+    if token_count == 0:
+        return "0"
+    if token_count <= 2:
+        return "1-2"
+    if token_count <= 10:
+        return "3-10"
+    if token_count <= 100:
+        return "11-100"
+    return "100+"
+
+
+#: Order of Figure 3 buckets, exported so plots/benchmarks agree on ordering.
+PREDICATE_BUCKETS = ("0", "1-2", "3-10", "11-100", "100+")

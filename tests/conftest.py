@@ -1,0 +1,71 @@
+"""Shared fixtures: small corpora, adapters, and sessions.
+
+Corpus-backed fixtures are session-scoped because generation executes every
+statement on a donor adapter; the small sizes keep the whole suite fast while
+still exercising the full parse -> run -> validate pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters.sqlite_adapter import SQLite3Adapter
+from repro.corpus import build_suite
+from repro.engine.session import Session
+
+
+@pytest.fixture
+def sqlite_session() -> Session:
+    return Session("sqlite")
+
+
+@pytest.fixture
+def postgres_session() -> Session:
+    return Session("postgres")
+
+
+@pytest.fixture
+def duckdb_session() -> Session:
+    return Session("duckdb")
+
+
+@pytest.fixture
+def mysql_session() -> Session:
+    return Session("mysql")
+
+
+@pytest.fixture
+def sqlite3_adapter() -> SQLite3Adapter:
+    adapter = SQLite3Adapter()
+    adapter.connect()
+    yield adapter
+    adapter.close()
+
+
+@pytest.fixture
+def duckdb_adapter() -> MiniDBAdapter:
+    adapter = MiniDBAdapter("duckdb")
+    adapter.connect()
+    yield adapter
+    adapter.close()
+
+
+@pytest.fixture(scope="session")
+def small_slt_suite():
+    return build_suite("slt", file_count=3, records_per_file=40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_postgres_suite():
+    return build_suite("postgres", file_count=4, records_per_file=30, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_duckdb_suite():
+    return build_suite("duckdb", file_count=6, records_per_file=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_mysql_suite():
+    return build_suite("mysql", file_count=3, records_per_file=25, seed=7)

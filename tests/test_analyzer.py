@@ -1,0 +1,82 @@
+"""Unit tests for the structural SQL analyzer (WHERE tokens, joins, functions)."""
+
+from repro.sqlparser.analyzer import (
+    JoinKind,
+    analyze_select,
+    extract_function_names,
+    predicate_bucket,
+    referenced_settings,
+    uses_cast_operator,
+    where_token_count,
+)
+
+
+class TestWhereTokenCount:
+    def test_no_where_clause_is_zero(self):
+        assert where_token_count("SELECT interval '1-2'") == 0
+
+    def test_simple_predicate(self):
+        # "c > a" = 3 significant tokens, the paper's line-2 example
+        assert where_token_count("SELECT a, b FROM t1 WHERE c > a") == 3
+
+    def test_terminators_stop_the_count(self):
+        assert where_token_count("SELECT a FROM t WHERE a > 1 ORDER BY a") == 3
+        assert where_token_count("SELECT a FROM t WHERE a > 1 GROUP BY a") == 3
+        assert where_token_count("SELECT a FROM t WHERE a > 1 LIMIT 5") == 3
+
+    def test_nested_subquery_where_not_double_counted(self):
+        count = where_token_count("SELECT a FROM t WHERE a IN (SELECT b FROM u) AND a > 0")
+        assert count >= 7
+
+    def test_long_predicate(self):
+        predicate = " OR ".join(f"a = {i}" for i in range(40))
+        assert where_token_count(f"SELECT a FROM t WHERE {predicate}") > 100
+
+    def test_buckets(self):
+        assert predicate_bucket(0) == "0"
+        assert predicate_bucket(2) == "1-2"
+        assert predicate_bucket(7) == "3-10"
+        assert predicate_bucket(50) == "11-100"
+        assert predicate_bucket(200) == "100+"
+
+
+class TestJoins:
+    def test_no_join(self):
+        assert analyze_select("SELECT a FROM t1").join_kind is JoinKind.NONE
+
+    def test_implicit_join(self):
+        shape = analyze_select("SELECT unit.total_profit FROM unit, unit2")
+        assert shape.join_kind is JoinKind.IMPLICIT
+
+    def test_inner_join(self):
+        shape = analyze_select("SELECT a, test.b, c FROM test INNER JOIN test2 ON test.b = 2 ORDER BY c")
+        assert shape.join_kind is JoinKind.INNER
+        assert shape.has_order_by
+
+    def test_left_join(self):
+        assert analyze_select("SELECT * FROM a LEFT JOIN b ON a.x = b.x").join_kind is JoinKind.LEFT
+
+    def test_aggregate_detection(self):
+        shape = analyze_select("SELECT count(*), sum(a) FROM t GROUP BY b")
+        assert shape.has_aggregate
+        assert shape.has_group_by
+
+
+class TestFunctionExtraction:
+    def test_extract_functions(self):
+        assert extract_function_names("SELECT to_json(date '2014-05-28'), abs(-1)") == ["to_json", "abs"]
+
+    def test_nested_functions(self):
+        assert extract_function_names("SELECT coalesce(nullif(a, 0), 1) FROM t") == ["coalesce", "nullif"]
+
+    def test_no_functions(self):
+        assert extract_function_names("SELECT a FROM t") == []
+
+    def test_cast_operator_detection(self):
+        assert uses_cast_operator("SELECT 1::INTEGER")
+        assert not uses_cast_operator("SELECT CAST(1 AS INTEGER)")
+
+    def test_referenced_settings(self):
+        assert referenced_settings("SET default_null_order = 'nulls_first'") == ["default_null_order"]
+        assert referenced_settings("PRAGMA explain_output = OPTIMIZED_ONLY") == ["explain_output"]
+        assert referenced_settings("SELECT 1") == []

@@ -1,0 +1,200 @@
+"""The cross-dialect semantic differences the paper's RQ4 hinges on."""
+
+import pytest
+
+from repro.engine.session import Session
+from repro.errors import (
+    DatabaseError,
+    EngineCrash,
+    EngineHang,
+    UnsupportedFunctionError,
+    UnsupportedOperatorError,
+    UnsupportedTypeError,
+)
+
+
+class TestDivisionSemantics:
+    def test_integer_division_on_sqlite_and_postgres(self):
+        for dialect in ("sqlite", "postgres"):
+            assert Session(dialect).execute("SELECT 62 / -2").rows == [[-31]]
+
+    def test_decimal_division_on_duckdb_and_mysql(self):
+        for dialect in ("duckdb", "mysql"):
+            result = Session(dialect).execute("SELECT 62 / -2").rows[0][0]
+            assert result == -31.0
+            assert isinstance(result, float)
+
+    def test_div_operator_only_where_supported(self):
+        assert Session("mysql").execute("SELECT 62 DIV -2").rows == [[-31]]
+        assert Session("duckdb").execute("SELECT 7 DIV 2").rows == [[3]]
+        with pytest.raises(UnsupportedOperatorError):
+            Session("postgres").execute("SELECT 62 DIV 2")
+
+    def test_division_by_zero(self):
+        assert Session("sqlite").execute("SELECT 1 / 0").rows == [[None]]
+        with pytest.raises(DatabaseError):
+            Session("postgres").execute("SELECT 1 / 0")
+
+
+class TestCoalesceTyping:
+    def test_sqlite_returns_integer(self):
+        assert Session("sqlite").execute("SELECT COALESCE(1, 1.0)").rows == [[1]]
+
+    def test_other_dialects_promote_to_float(self):
+        for dialect in ("postgres", "duckdb", "mysql"):
+            value = Session(dialect).execute("SELECT COALESCE(1, 1.0)").rows[0][0]
+            assert value == 1.0 and isinstance(value, float)
+
+    def test_all_integers_stay_integer(self):
+        for dialect in ("sqlite", "postgres", "duckdb", "mysql"):
+            value = Session(dialect).execute("SELECT COALESCE(1, 1)").rows[0][0]
+            assert value == 1 and isinstance(value, int)
+
+
+class TestOperatorAvailability:
+    def test_string_plus_integer(self):
+        assert Session("sqlite").execute("SELECT '1' + 1").rows == [[2]]
+        with pytest.raises(UnsupportedOperatorError):
+            Session("postgres").execute("SELECT '1' + 1")
+
+    def test_double_colon_cast(self):
+        assert Session("postgres").execute("SELECT 1::TEXT").rows == [["1"]]
+        assert Session("duckdb").execute("SELECT '12'::INTEGER").rows == [[12]]
+        with pytest.raises(UnsupportedOperatorError):
+            Session("sqlite").execute("SELECT 1::TEXT")
+        with pytest.raises(UnsupportedOperatorError):
+            Session("mysql").execute("SELECT 1::TEXT")
+
+    def test_pipes_concat_vs_logical_or(self):
+        assert Session("sqlite").execute("SELECT 'a' || 'b'").rows == [["ab"]]
+        assert Session("postgres").execute("SELECT 'a' || 'b'").rows == [["ab"]]
+        # MySQL's default interprets || as logical OR
+        assert Session("mysql").execute("SELECT 1 || 0").rows == [[True]]
+
+    def test_row_value_comparison_with_null(self):
+        # Listing 17: DuckDB deliberately returns TRUE, others NULL
+        assert Session("duckdb").execute("SELECT (NULL, 0) > (0, 0)").rows == [[True]]
+        assert Session("postgres").execute("SELECT (NULL, 0) > (0, 0)").rows == [[None]]
+        assert Session("sqlite").execute("SELECT (NULL, 0) > (0, 0)").rows == [[None]]
+
+
+class TestFunctionAvailability:
+    def test_pg_typeof(self):
+        assert Session("postgres").execute("SELECT pg_typeof(1)").rows == [["integer"]]
+        assert Session("duckdb").execute("SELECT pg_typeof(1)").rows == [["integer"]]
+        with pytest.raises(UnsupportedFunctionError):
+            Session("mysql").execute("SELECT pg_typeof(1)")
+        with pytest.raises(UnsupportedFunctionError):
+            Session("sqlite").execute("SELECT pg_typeof(1)")
+
+    def test_range_is_duckdb_only(self):
+        assert Session("duckdb").execute("SELECT range(3)").rows == [[[0, 1, 2]]]
+        for dialect in ("postgres", "sqlite", "mysql"):
+            with pytest.raises(UnsupportedFunctionError):
+                Session(dialect).execute("SELECT range(3)")
+
+    def test_has_column_privilege_listing18(self):
+        # DuckDB returns TRUE even for invalid arguments; PostgreSQL errors.
+        assert Session("duckdb").execute("SELECT has_column_privilege(1, 1, 1)").rows == [[True]]
+        with pytest.raises(UnsupportedFunctionError):
+            Session("postgres").execute("SELECT has_column_privilege(1, 1, 1)")
+
+    def test_generate_series_table_function(self):
+        assert Session("postgres").execute("SELECT count(*) FROM generate_series(1, 10)").rows == [[10]]
+        assert Session("sqlite").execute("SELECT count(*) FROM generate_series(1, 10)").rows == [[10]]
+
+
+class TestTypeStrictness:
+    def test_varchar_requires_length_on_mysql(self):
+        with pytest.raises(UnsupportedTypeError):
+            Session("mysql").execute("CREATE TABLE t(s VARCHAR)")
+        Session("postgres").execute("CREATE TABLE t(s VARCHAR)")
+
+    def test_dialect_specific_types(self):
+        Session("duckdb").execute("CREATE TABLE t(h HUGEINT)")
+        with pytest.raises(UnsupportedTypeError):
+            Session("postgres").execute("CREATE TABLE t(h HUGEINT)")
+        Session("postgres").execute("CREATE TABLE j(v JSONB)")
+        with pytest.raises(UnsupportedTypeError):
+            Session("mysql").execute("CREATE TABLE j(v JSONB)")
+
+    def test_sqlite_dynamic_typing_accepts_anything(self):
+        s = Session("sqlite")
+        s.execute("CREATE TABLE t(a INTEGER)")
+        s.execute("INSERT INTO t VALUES ('not a number')")
+        assert s.execute("SELECT a FROM t").rows == [["not a number"]]
+
+    def test_strict_typing_rejects_bad_values(self):
+        s = Session("postgres")
+        s.execute("CREATE TABLE t(a INTEGER)")
+        with pytest.raises(Exception):
+            s.execute("INSERT INTO t VALUES ('not a number')")
+
+
+class TestKnownBugSignatures:
+    def test_alter_schema_rename_crashes_duckdb(self):
+        with pytest.raises(EngineCrash):
+            Session("duckdb").execute("ALTER SCHEMA a RENAME TO b")
+        # PostgreSQL executes the same statement fine (once the schema exists)
+        s = Session("postgres")
+        s.execute("CREATE SCHEMA a")
+        assert s.execute("ALTER SCHEMA a RENAME TO b").status == "ALTER SCHEMA"
+
+    def test_update_after_commit_crashes_duckdb(self):
+        s = Session("duckdb")
+        s.execute("CREATE TABLE a (b INTEGER)")
+        s.execute("BEGIN")
+        s.execute("INSERT INTO a VALUES (1)")
+        s.execute("UPDATE a SET b = b + 10")
+        s.execute("COMMIT")
+        with pytest.raises(EngineCrash):
+            s.execute("UPDATE a SET b = b + 10")
+
+    def test_connection_is_gone_after_crash(self):
+        s = Session("duckdb")
+        with pytest.raises(EngineCrash):
+            s.execute("ALTER SCHEMA a RENAME TO b")
+        with pytest.raises(EngineCrash):
+            s.execute("SELECT 1")
+
+    def test_recursive_cte_listing15_hangs_duckdb_errors_postgres(self):
+        listing15 = (
+            "WITH RECURSIVE x(n) AS (SELECT 1 UNION ALL SELECT n+1 FROM x WHERE n IN (SELECT * FROM x)) SELECT * FROM x"
+        )
+        with pytest.raises(EngineHang):
+            Session("duckdb").execute(listing15)
+        with pytest.raises(DatabaseError):
+            Session("postgres").execute(listing15)
+
+    def test_recursive_cte_listing14_crashes_mysql_only(self):
+        listing14 = (
+            "WITH RECURSIVE t(x) AS (SELECT 1 UNION ALL (SELECT x+1 FROM t WHERE x < 4 "
+            "UNION SELECT x*2 FROM t WHERE x >= 4 AND x < 8)) SELECT * FROM t ORDER BY x"
+        )
+        with pytest.raises(EngineCrash):
+            Session("mysql").execute(listing14)
+        rows = Session("duckdb").execute(listing14).rows
+        assert [1] in rows and len(rows) >= 4
+
+    def test_series_overflow_hangs_sqlite(self):
+        with pytest.raises(EngineHang):
+            Session("sqlite").execute("SELECT count(*) FROM generate_series(9223372036854775807, 9223372036854775807)")
+
+    def test_many_table_join_hangs_mysql_unless_search_depth_zero(self):
+        s = Session("mysql")
+        s.execute("CREATE TABLE tj(a INTEGER)")
+        s.execute("INSERT INTO tj VALUES (1)")
+        aliases = ", ".join(f"tj AS a{i}" for i in range(1, 43))
+        with pytest.raises(EngineHang):
+            s.execute(f"SELECT count(*) FROM {aliases}")
+        # after lowering optimizer_search_depth the query runs (the paper's fix)
+        s2 = Session("mysql")
+        s2.execute("CREATE TABLE tj(a INTEGER)")
+        s2.execute("INSERT INTO tj VALUES (1)")
+        s2.execute("SET optimizer_search_depth = 0")
+        assert s2.execute(f"SELECT count(*) FROM {aliases}").rows == [[1]]
+
+    def test_faults_can_be_disabled(self):
+        s = Session("duckdb", enable_faults=False)
+        s.execute("CREATE SCHEMA a")
+        assert s.execute("ALTER SCHEMA a RENAME TO b").status == "ALTER SCHEMA"

@@ -1,0 +1,248 @@
+"""MiniDB DDL/DML, transactions, settings, EXPLAIN, and constraint handling."""
+
+import pytest
+
+from repro.engine.session import Session
+from repro.errors import (
+    CatalogError,
+    ConfigurationError,
+    ConstraintViolationError,
+    TransactionError,
+    UnsupportedStatementError,
+)
+
+
+@pytest.fixture
+def session():
+    return Session("sqlite")
+
+
+class TestDDL:
+    def test_create_and_drop_table(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM t")
+
+    def test_create_table_if_not_exists(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("CREATE TABLE IF NOT EXISTS t(a INTEGER)")
+        with pytest.raises(CatalogError):
+            session.execute("CREATE TABLE t(a INTEGER)")
+
+    def test_drop_missing_table(self, session):
+        session.execute("DROP TABLE IF EXISTS nope")
+        with pytest.raises(CatalogError):
+            session.execute("DROP TABLE nope")
+
+    def test_create_table_as_select(self, session):
+        session.execute("CREATE TABLE src(a INTEGER)")
+        session.execute("INSERT INTO src VALUES (1), (2)")
+        session.execute("CREATE TABLE dst AS SELECT a FROM src WHERE a > 1")
+        assert session.execute("SELECT * FROM dst").rows == [[2]]
+
+    def test_alter_table_add_rename_drop_column(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES (1)")
+        session.execute("ALTER TABLE t ADD COLUMN b INTEGER")
+        assert session.execute("SELECT a, b FROM t").rows == [[1, None]]
+        session.execute("ALTER TABLE t RENAME COLUMN b TO c")
+        assert session.execute("SELECT c FROM t").rows == [[None]]
+        session.execute("ALTER TABLE t DROP COLUMN c")
+        assert session.execute("SELECT * FROM t").columns == ["a"]
+
+    def test_alter_table_rename_table(self, session):
+        session.execute("CREATE TABLE old_name(a INTEGER)")
+        session.execute("ALTER TABLE old_name RENAME TO new_name")
+        session.execute("SELECT * FROM new_name")
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM old_name")
+
+    def test_create_index_and_unique_index(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES (1), (2)")
+        session.execute("CREATE INDEX idx_a ON t(a)")
+        session.execute("DROP INDEX idx_a")
+        session.execute("INSERT INTO t VALUES (2)")
+        with pytest.raises(ConstraintViolationError):
+            session.execute("CREATE UNIQUE INDEX uniq_a ON t(a)")
+
+    def test_create_index_on_missing_column(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        with pytest.raises(CatalogError):
+            session.execute("CREATE INDEX idx ON t(zzz)")
+
+    def test_views(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES (5)")
+        session.execute("CREATE VIEW v AS SELECT a FROM t")
+        assert session.execute("SELECT * FROM v").rows == [[5]]
+        session.execute("DROP VIEW v")
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM v")
+
+
+class TestDML:
+    def test_insert_with_column_list_reorders(self, session):
+        session.execute("CREATE TABLE t(a INTEGER, b INTEGER, c INTEGER)")
+        session.execute("INSERT INTO t(c, b, a) VALUES (3, 2, 1)")
+        assert session.execute("SELECT a, b, c FROM t").rows == [[1, 2, 3]]
+
+    def test_insert_select(self, session):
+        session.execute("CREATE TABLE src(a INTEGER)")
+        session.execute("CREATE TABLE dst(a INTEGER)")
+        session.execute("INSERT INTO src VALUES (1), (2)")
+        result = session.execute("INSERT INTO dst SELECT a FROM src")
+        assert result.rowcount == 2
+
+    def test_insert_unknown_column(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        with pytest.raises(CatalogError):
+            session.execute("INSERT INTO t(zzz) VALUES (1)")
+
+    def test_not_null_and_primary_key_constraints(self):
+        s = Session("postgres")
+        s.execute("CREATE TABLE t(id INTEGER PRIMARY KEY, v INTEGER NOT NULL)")
+        s.execute("INSERT INTO t VALUES (1, 10)")
+        with pytest.raises(ConstraintViolationError):
+            s.execute("INSERT INTO t VALUES (1, 20)")
+        with pytest.raises(ConstraintViolationError):
+            s.execute("INSERT INTO t VALUES (2, NULL)")
+
+    def test_update_with_where(self, session):
+        session.execute("CREATE TABLE t(a INTEGER, b INTEGER)")
+        session.execute("INSERT INTO t VALUES (1, 0), (2, 0)")
+        result = session.execute("UPDATE t SET b = a * 10 WHERE a = 2")
+        assert result.rowcount == 1
+        assert session.execute("SELECT b FROM t ORDER BY a").rows == [[0], [20]]
+
+    def test_delete(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert session.execute("DELETE FROM t WHERE a < 3").rowcount == 2
+        assert session.execute("SELECT count(*) FROM t").rows == [[1]]
+
+    def test_default_values(self, session):
+        session.execute("CREATE TABLE t(a INTEGER, b INTEGER DEFAULT 7)")
+        session.execute("INSERT INTO t(a) VALUES (1)")
+        assert session.execute("SELECT b FROM t").rows == [[7]]
+
+
+class TestTransactions:
+    def test_rollback_restores_data(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES (1)")
+        session.execute("BEGIN")
+        session.execute("DELETE FROM t")
+        session.execute("ROLLBACK")
+        assert session.execute("SELECT count(*) FROM t").rows == [[1]]
+
+    def test_commit_keeps_data(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1)")
+        session.execute("COMMIT")
+        assert session.execute("SELECT count(*) FROM t").rows == [[1]]
+
+    def test_rollback_restores_dropped_table(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("BEGIN")
+        session.execute("DROP TABLE t")
+        session.execute("ROLLBACK")
+        session.execute("SELECT * FROM t")
+
+    def test_nested_begin_rejected_on_sqlite(self, session):
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            session.execute("BEGIN")
+
+    def test_commit_without_transaction_rejected_on_sqlite(self, session):
+        with pytest.raises(TransactionError):
+            session.execute("COMMIT")
+
+    def test_commit_without_transaction_tolerated_on_postgres(self):
+        s = Session("postgres")
+        assert s.execute("COMMIT").status == "COMMIT"
+
+    def test_start_transaction_unsupported_on_sqlite(self, session):
+        # the paper notes SQLite lacks the standard START TRANSACTION syntax
+        with pytest.raises(UnsupportedStatementError):
+            session.execute("START TRANSACTION")
+
+    def test_start_transaction_on_postgres(self):
+        s = Session("postgres")
+        s.execute("START TRANSACTION")
+        assert s.execute("COMMIT").status == "COMMIT"
+
+    def test_savepoint_rollback(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1)")
+        session.execute("SAVEPOINT sp1")
+        session.execute("INSERT INTO t VALUES (2)")
+        session.execute("ROLLBACK TO SAVEPOINT sp1")
+        session.execute("COMMIT")
+        assert session.execute("SELECT count(*) FROM t").rows == [[1]]
+
+
+class TestSettingsAndExplain:
+    def test_pragma_on_sqlite_ignores_unknown(self, session):
+        assert session.execute("PRAGMA totally_unknown_setting = 1").status == "PRAGMA"
+
+    def test_pragma_unknown_rejected_on_duckdb(self):
+        s = Session("duckdb")
+        with pytest.raises(ConfigurationError):
+            s.execute("PRAGMA totally_unknown_setting = 1")
+        assert s.execute("PRAGMA explain_output = OPTIMIZED_ONLY").status == "PRAGMA"
+
+    def test_set_rejected_on_sqlite(self, session):
+        with pytest.raises(UnsupportedStatementError):
+            session.execute("SET foreign_keys = 1")
+
+    def test_set_unknown_rejected_on_postgres(self):
+        s = Session("postgres")
+        with pytest.raises(ConfigurationError):
+            s.execute("SET default_null_order = 'nulls_first'")
+        assert s.execute("SET datestyle TO 'ISO, MDY'").status == "SET"
+
+    def test_show_on_mysql(self):
+        s = Session("mysql")
+        s.execute("SET sql_mode = 'ANSI_QUOTES'")
+        assert s.execute("SHOW sql_mode").rows == [["ANSI_QUOTES"]]
+
+    def test_show_unsupported_on_sqlite(self, session):
+        with pytest.raises(UnsupportedStatementError):
+            session.execute("SHOW tables")
+
+    def test_explain_styles_differ_between_dialects(self):
+        plans = {}
+        for dialect in ("postgres", "duckdb", "mysql", "sqlite"):
+            s = Session(dialect)
+            s.execute("CREATE TABLE t(a INTEGER)")
+            plans[dialect] = s.execute("EXPLAIN SELECT * FROM t").rows
+        assert plans["postgres"] != plans["duckdb"]
+        assert plans["mysql"] != plans["postgres"]
+
+    def test_duckdb_explain_output_pragma_changes_plan(self):
+        s = Session("duckdb")
+        s.execute("CREATE TABLE integers(i INTEGER, j INTEGER, k INTEGER)")
+        default_plan = s.execute("EXPLAIN SELECT k FROM integers WHERE j = 5").rows
+        s.execute("PRAGMA explain_output = OPTIMIZED_ONLY")
+        optimized_plan = s.execute("EXPLAIN SELECT k FROM integers WHERE j = 5").rows
+        assert default_plan != optimized_plan
+
+    def test_copy_unsupported_or_fails(self):
+        postgres = Session("postgres")
+        postgres.execute("CREATE TABLE t(a INTEGER)")
+        with pytest.raises(Exception):
+            postgres.execute("COPY t FROM '/nonexistent/file.csv'")
+        sqlite = Session("sqlite")
+        sqlite.execute("CREATE TABLE t(a INTEGER)")
+        with pytest.raises(UnsupportedStatementError):
+            sqlite.execute("COPY t FROM '/nonexistent/file.csv'")
+
+    def test_reset_clears_everything(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.reset()
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM t")

@@ -1,0 +1,192 @@
+"""MiniDB SELECT execution: projection, filters, joins, aggregates, set ops, CTEs."""
+
+import pytest
+
+from repro.engine.session import Session
+from repro.errors import CatalogError, DatabaseError
+
+
+@pytest.fixture
+def session():
+    s = Session("sqlite")
+    s.execute("CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER)")
+    s.execute("INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4)")
+    return s
+
+
+class TestProjectionAndFilter:
+    def test_paper_listing1_query(self, session):
+        result = session.execute("SELECT a, b FROM t1 WHERE c > a")
+        assert sorted(result.rows) == [[2, 4], [3, 1]]
+        assert result.columns == ["a", "b"]
+
+    def test_select_star(self, session):
+        result = session.execute("SELECT * FROM t1")
+        assert len(result.rows) == 3
+        assert result.columns == ["a", "b", "c"]
+
+    def test_qualified_star(self, session):
+        result = session.execute("SELECT t1.* FROM t1")
+        assert result.columns == ["a", "b", "c"]
+
+    def test_expression_projection_with_alias(self, session):
+        result = session.execute("SELECT a + b AS total FROM t1 ORDER BY total")
+        assert result.columns == ["total"]
+        assert result.rows == [[4], [6], [10]]
+
+    def test_where_with_and_or(self, session):
+        result = session.execute("SELECT a FROM t1 WHERE a > 2 AND b < 5 ORDER BY a")
+        assert result.rows == [[3]]
+        result = session.execute("SELECT a FROM t1 WHERE a = 2 OR a = 4 ORDER BY a")
+        assert result.rows == [[2], [4]]
+
+    def test_between_in_like(self, session):
+        assert session.execute("SELECT a FROM t1 WHERE a BETWEEN 3 AND 4 ORDER BY a").rows == [[3], [4]]
+        assert session.execute("SELECT a FROM t1 WHERE a IN (2, 4) ORDER BY a").rows == [[2], [4]]
+        session.execute("CREATE TABLE names(n TEXT)")
+        session.execute("INSERT INTO names VALUES ('alpha'), ('beta')")
+        assert session.execute("SELECT n FROM names WHERE n LIKE 'al%'").rows == [["alpha"]]
+
+    def test_is_null(self, session):
+        session.execute("INSERT INTO t1 VALUES (NULL, 1, 1)")
+        assert session.execute("SELECT count(*) FROM t1 WHERE a IS NULL").rows == [[1]]
+        assert session.execute("SELECT count(*) FROM t1 WHERE a IS NOT NULL").rows == [[3]]
+
+    def test_missing_table_raises(self, session):
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM missing")
+
+    def test_missing_column_raises(self, session):
+        with pytest.raises(CatalogError):
+            session.execute("SELECT zzz FROM t1")
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_desc(self, session):
+        assert session.execute("SELECT a FROM t1 ORDER BY a DESC").rows == [[4], [3], [2]]
+
+    def test_order_by_position(self, session):
+        assert session.execute("SELECT a FROM t1 ORDER BY 1").rows == [[2], [3], [4]]
+
+    def test_limit_offset(self, session):
+        assert session.execute("SELECT a FROM t1 ORDER BY a LIMIT 2").rows == [[2], [3]]
+        assert session.execute("SELECT a FROM t1 ORDER BY a LIMIT 1 OFFSET 2").rows == [[4]]
+
+    def test_distinct(self, session):
+        session.execute("INSERT INTO t1 VALUES (2, 4, 3)")
+        assert session.execute("SELECT DISTINCT a FROM t1 ORDER BY a").rows == [[2], [3], [4]]
+
+    def test_nulls_ordering_sqlite_default_first(self):
+        s = Session("sqlite")
+        s.execute("CREATE TABLE t(a INTEGER)")
+        s.execute("INSERT INTO t VALUES (1), (NULL), (2)")
+        assert s.execute("SELECT a FROM t ORDER BY a").rows == [[None], [1], [2]]
+
+    def test_nulls_ordering_postgres_default_last(self):
+        s = Session("postgres")
+        s.execute("CREATE TABLE t(a INTEGER)")
+        s.execute("INSERT INTO t VALUES (1), (NULL), (2)")
+        assert s.execute("SELECT a FROM t ORDER BY a").rows == [[1], [2], [None]]
+
+
+class TestJoins:
+    def test_inner_join(self, session):
+        session.execute("CREATE TABLE t2(a INTEGER, label TEXT)")
+        session.execute("INSERT INTO t2 VALUES (2, 'two'), (3, 'three'), (9, 'nine')")
+        result = session.execute("SELECT t1.a, t2.label FROM t1 INNER JOIN t2 ON t1.a = t2.a ORDER BY 1")
+        assert result.rows == [[2, "two"], [3, "three"]]
+
+    def test_implicit_join(self, session):
+        session.execute("CREATE TABLE t2(x INTEGER)")
+        session.execute("INSERT INTO t2 VALUES (2), (3)")
+        result = session.execute("SELECT t1.a FROM t1, t2 WHERE t1.a = t2.x ORDER BY 1")
+        assert result.rows == [[2], [3]]
+
+    def test_left_join_keeps_unmatched(self, session):
+        session.execute("CREATE TABLE t2(a INTEGER, label TEXT)")
+        session.execute("INSERT INTO t2 VALUES (2, 'two')")
+        result = session.execute("SELECT t1.a, t2.label FROM t1 LEFT JOIN t2 ON t1.a = t2.a ORDER BY 1")
+        assert result.rows == [[2, "two"], [3, None], [4, None]]
+
+    def test_cross_join_count(self, session):
+        assert session.execute("SELECT count(*) FROM t1, t1 x").rows == [[9]]
+
+    def test_join_using(self, session):
+        session.execute("CREATE TABLE t3(a INTEGER, extra INTEGER)")
+        session.execute("INSERT INTO t3 VALUES (3, 30), (4, 40)")
+        result = session.execute("SELECT t1.a, extra FROM t1 JOIN t3 USING (a) ORDER BY 1")
+        assert result.rows == [[3, 30], [4, 40]]
+
+
+class TestAggregates:
+    def test_count_sum_avg_min_max(self, session):
+        assert session.execute("SELECT count(*), sum(a), min(a), max(a) FROM t1").rows == [[3, 9, 2, 4]]
+        assert session.execute("SELECT avg(a) FROM t1").rows == [[3.0]]
+
+    def test_group_by_with_having(self, session):
+        session.execute("INSERT INTO t1 VALUES (2, 9, 9)")
+        result = session.execute("SELECT a, count(*) FROM t1 GROUP BY a HAVING count(*) > 1 ORDER BY a")
+        assert result.rows == [[2, 2]]
+
+    def test_count_distinct(self, session):
+        session.execute("INSERT INTO t1 VALUES (2, 0, 0)")
+        assert session.execute("SELECT count(DISTINCT a) FROM t1").rows == [[3]]
+
+    def test_aggregate_over_empty_table(self, session):
+        session.execute("CREATE TABLE empty_t(a INTEGER)")
+        assert session.execute("SELECT count(*), sum(a), max(a) FROM empty_t").rows == [[0, None, None]]
+
+    def test_aggregate_in_expression(self, session):
+        assert session.execute("SELECT max(a) - min(a) FROM t1").rows == [[2]]
+
+
+class TestCompoundAndSubqueries:
+    def test_union_all_and_union(self, session):
+        assert session.execute("SELECT 1 UNION ALL SELECT 1").rows == [[1], [1]]
+        assert session.execute("SELECT 1 UNION SELECT 1").rows == [[1]]
+
+    def test_intersect_and_except(self, session):
+        assert session.execute("SELECT a FROM t1 INTERSECT SELECT 3").rows == [[3]]
+        assert sorted(session.execute("SELECT a FROM t1 EXCEPT SELECT 3").rows) == [[2], [4]]
+
+    def test_column_count_mismatch_raises(self, session):
+        with pytest.raises(DatabaseError):
+            session.execute("SELECT 1, 2 UNION SELECT 1")
+
+    def test_in_subquery(self, session):
+        session.execute("CREATE TABLE picks(v INTEGER)")
+        session.execute("INSERT INTO picks VALUES (3), (4)")
+        result = session.execute("SELECT a FROM t1 WHERE a IN (SELECT v FROM picks) ORDER BY a")
+        assert result.rows == [[3], [4]]
+
+    def test_scalar_subquery(self, session):
+        assert session.execute("SELECT (SELECT max(a) FROM t1)").rows == [[4]]
+
+    def test_exists(self, session):
+        assert session.execute("SELECT EXISTS (SELECT 1 FROM t1 WHERE a = 3)").rows == [[True]]
+
+    def test_derived_table(self, session):
+        result = session.execute("SELECT s.a FROM (SELECT a FROM t1 WHERE a > 2) s ORDER BY 1")
+        assert result.rows == [[3], [4]]
+
+    def test_values_clause(self, session):
+        assert session.execute("VALUES (1, 'x'), (2, 'y')").rows == [[1, "x"], [2, "y"]]
+
+
+class TestCTEs:
+    def test_plain_cte(self, session):
+        result = session.execute("WITH big AS (SELECT a FROM t1 WHERE a > 2) SELECT count(*) FROM big")
+        assert result.rows == [[1 + 1]]
+
+    def test_recursive_counter(self, session):
+        result = session.execute(
+            "WITH RECURSIVE cnt(x) AS (SELECT 1 UNION ALL SELECT x + 1 FROM cnt WHERE x < 5) SELECT count(*), max(x) FROM cnt"
+        )
+        assert result.rows == [[5, 5]]
+
+    def test_view_over_cte(self, session):
+        session.execute("CREATE VIEW v1 AS SELECT a * 10 AS a10 FROM t1")
+        assert session.execute("SELECT max(a10) FROM v1").rows == [[40]]
+
+    def test_table_function_in_from(self, session):
+        assert session.execute("SELECT count(*) FROM generate_series(1, 5)").rows == [[5]]

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.comparison import normalize_value, result_hash
+from repro.engine.session import Session
+from repro.engine.values import compare_values, render_value
+from repro.sqlparser.statements import split_statements, statement_type
+from repro.sqlparser.tokenizer import tokenize
+
+# -- strategies -----------------------------------------------------------------
+
+sql_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"), max_size=20),
+)
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+safe_text = st.text(alphabet="abcdefghij XYZ0123456789_,.", max_size=30)
+
+
+class TestTokenizerProperties:
+    @given(safe_text)
+    @settings(max_examples=150)
+    def test_tokenizer_never_crashes_on_safe_text(self, text):
+        tokenize("SELECT " + text.replace("'", ""))
+
+    @given(identifiers, st.integers(min_value=-1000, max_value=1000))
+    def test_tokens_cover_all_significant_characters(self, name, number):
+        sql = f"SELECT {name} + {number} FROM {name}_t"
+        reconstructed = "".join(token.value for token in tokenize(sql))
+        assert reconstructed.replace(" ", "") == sql.replace(" ", "")
+
+    @given(st.lists(identifiers, min_size=1, max_size=5))
+    def test_split_statements_count(self, names):
+        script = "; ".join(f"SELECT {name} FROM t" for name in names)
+        assert len(split_statements(script)) == len(names)
+
+    @given(identifiers)
+    def test_statement_type_of_select_is_select(self, name):
+        assert statement_type(f"SELECT {name} FROM {name}") == "SELECT"
+
+
+class TestValueProperties:
+    @given(sql_values, sql_values)
+    @settings(max_examples=200)
+    def test_compare_values_antisymmetry(self, left, right):
+        forward = compare_values(left, right)
+        backward = compare_values(right, left)
+        if forward is None:
+            assert backward is None
+        else:
+            assert backward == -forward
+
+    @given(sql_values)
+    def test_compare_values_reflexive(self, value):
+        result = compare_values(value, value)
+        assert result is None if value is None else result == 0
+
+    @given(sql_values)
+    def test_render_value_is_string(self, value):
+        assert isinstance(render_value(value), str)
+
+    @given(st.lists(st.text(alphabet="abc123", max_size=5), max_size=10))
+    def test_result_hash_deterministic_and_order_sensitive(self, values):
+        assert result_hash(values) == result_hash(values)
+
+    @given(st.integers(min_value=-(10**12), max_value=10**12))
+    def test_normalize_integer_roundtrip(self, number):
+        assert normalize_value(number, "I") == str(number)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6))
+    def test_normalize_real_has_three_decimals(self, number):
+        normalized = normalize_value(number, "R")
+        assert len(normalized.split(".")[-1]) == 3
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=-10000, max_value=10000), min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_and_count_match_python(self, numbers):
+        session = Session("postgres")
+        session.execute("CREATE TABLE t(a INTEGER)")
+        values = ", ".join(f"({n})" for n in numbers)
+        session.execute(f"INSERT INTO t VALUES {values}")
+        result = session.execute("SELECT count(*), sum(a), min(a), max(a) FROM t").rows[0]
+        assert result == [len(numbers), sum(numbers), min(numbers), max(numbers)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_order_by_sorts_like_python(self, numbers):
+        session = Session("sqlite")
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES " + ", ".join(f"({n})" for n in numbers))
+        rows = session.execute("SELECT a FROM t ORDER BY a").rows
+        assert [row[0] for row in rows] == sorted(numbers)
+
+    @given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_division_semantics_agree_with_real_sqlite(self, numerator, denominator):
+        import sqlite3
+
+        with sqlite3.connect(":memory:") as connection:
+            expected = connection.execute(f"SELECT {numerator} / {denominator}").fetchone()[0]
+        mini = Session("sqlite").execute(f"SELECT {numerator} / {denominator}").rows[0][0]
+        assert mini == expected
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=15), st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_where_filter_matches_python_filter(self, numbers, threshold):
+        session = Session("duckdb")
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES " + ", ".join(f"({n})" for n in numbers))
+        rows = session.execute(f"SELECT count(*) FROM t WHERE a > {threshold}").rows
+        assert rows[0][0] == sum(1 for n in numbers if n > threshold)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_group_by_counts_match_python(self, numbers):
+        from collections import Counter
+
+        session = Session("postgres")
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("INSERT INTO t VALUES " + ", ".join(f"({n})" for n in numbers))
+        rows = session.execute("SELECT a, count(*) FROM t GROUP BY a ORDER BY a").rows
+        expected = sorted(Counter(numbers).items())
+        assert [(row[0], row[1]) for row in rows] == expected
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=0, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_transaction_rollback_is_lossless(self, numbers):
+        session = Session("postgres")
+        session.execute("CREATE TABLE t(a INTEGER)")
+        if numbers:
+            session.execute("INSERT INTO t VALUES " + ", ".join(f"({n})" for n in numbers))
+        before = session.execute("SELECT count(*), coalesce(sum(a), 0) FROM t").rows
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (999)")
+        session.execute("DELETE FROM t WHERE a < 0")
+        session.execute("ROLLBACK")
+        after = session.execute("SELECT count(*), coalesce(sum(a), 0) FROM t").rows
+        assert before == after
