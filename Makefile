@@ -1,0 +1,25 @@
+# Test / benchmark entry points.  PYTHONPATH=src keeps the repo runnable
+# without an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: tier1 tier2-bench bench bench-compare
+
+## tier1: the correctness gate (must stay green)
+tier1:
+	$(PYTHON) -m pytest -x -q
+
+## tier2-bench: pipeline benchmark smoke (emits benchmarks/BENCH_pipeline.json)
+tier2-bench:
+	$(PYTHON) -m pytest benchmarks/bench_pipeline.py -q
+
+## bench: the full benchmark campaign (tables, figures, pipeline)
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## bench-compare: diff the current pipeline report against a saved baseline
+## usage: make bench-compare BASELINE=benchmarks/BENCH_baseline.json
+BASELINE ?= benchmarks/BENCH_baseline.json
+bench-compare:
+	$(PYTHON) scripts/bench_compare.py $(BASELINE) benchmarks/BENCH_pipeline.json

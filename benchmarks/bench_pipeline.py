@@ -1,12 +1,94 @@
-"""Benchmarks of the two heavy pipeline stages themselves.
+"""Benchmarks of the heavy pipeline stages themselves.
 
 These measure what the per-table benchmarks deliberately exclude: generating a
-corpus (plan + donor recording + serialization + re-parsing) and executing one
-suite on one host with the unified runner.
+corpus (plan + donor recording + serialization + re-parsing), executing suites
+with the unified runner, and — the headline measurement — the full
+cross-execution campaign (suite analyses + plain matrix + translated matrix)
+run once down the serial seed-equivalent path (caches disabled, ``workers=1``)
+and once down the parallel, cache-aware path (``workers=4``).
+
+The campaign benchmark asserts that both paths produce identical
+``SuiteResult`` aggregates and writes a machine-readable report to
+``benchmarks/BENCH_pipeline.json`` (schema in benchmarks/README.md) so future
+changes have a trajectory to regress against (see scripts/bench_compare.py).
 """
 
-from repro.core.transplant import run_transplant
+import os
+import time
+
+from _harness import update_pipeline_report
+
+from repro.analysis.predicates import join_usage, predicate_distribution
+from repro.analysis.statements import standard_compliance, statement_type_distribution
+from repro.core.transplant import DEFAULT_HOSTS, run_matrix, run_transplant
 from repro.corpus import build_suite
+from repro.perf import cache as perf_cache
+
+#: Campaign workload: one suite, analysed and cross-executed on every host,
+#: plain and with the dialect translator (the tables 1-6 / figure 4 pipeline).
+CAMPAIGN_SUITE = "slt"
+CAMPAIGN_FILES = 6
+CAMPAIGN_RECORDS_PER_FILE = 80
+CAMPAIGN_SEED = 42
+CAMPAIGN_WORKERS = 4
+
+#: Regression floor enforced here and recorded in BENCH_pipeline.json.
+#: Override with BENCH_MIN_SPEEDUP for heavily loaded / constrained machines.
+MIN_SPEEDUP = float(os.environ.get("BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _analysis_pass(suite):
+    """The RQ1/RQ2-style whole-suite scans the table drivers re-derive."""
+    statement_type_distribution(suite)
+    standard_compliance(suite)
+    predicate_distribution(suite)
+    join_usage(suite)
+
+
+def _campaign(suite, workers):
+    """Analyses + plain matrix + translated matrix for one suite."""
+    _analysis_pass(suite)
+    suites = {suite.name: suite}
+    plain = run_matrix(suites, workers=workers)
+    translated = run_matrix(suites, workers=workers, translate_dialect=True, reuse_donor_runs_from=plain)
+    # post-execution drivers (compliance and predicate tables) re-scan the suite
+    _analysis_pass(suite)
+    return plain, translated
+
+
+def _matrix_counts(matrix):
+    return {
+        key: (
+            entry.result.total_cases,
+            entry.result.executed_cases,
+            entry.result.passed_cases,
+            entry.result.failed_cases,
+            entry.result.skipped_cases,
+            entry.result.crash_cases,
+            entry.result.hang_cases,
+        )
+        for key, entry in matrix.entries.items()
+    }
+
+
+def _campaign_counts(matrices):
+    plain, translated = matrices
+    return (_matrix_counts(plain), _matrix_counts(translated))
+
+
+def _total_records(matrices):
+    return sum(entry.result.total_cases for matrix in matrices for entry in matrix.entries.values())
+
+
+def _timed_min_of(runs, fn):
+    """Best-of-``runs`` wall time; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
 
 
 def test_corpus_generation(benchmark):
@@ -24,3 +106,65 @@ def test_cross_execution_postgres_suite_on_mysql(benchmark):
     suite = build_suite("postgres", file_count=3, records_per_file=40, seed=42)
     result = benchmark.pedantic(lambda: run_transplant(suite, "mysql"), rounds=1, iterations=1)
     assert result.result.executed_cases > 0
+
+
+def test_pipeline_campaign_parallel_speedup(benchmark):
+    """workers=4 + caches vs the serial seed path, on the same suite."""
+    suite = build_suite(
+        CAMPAIGN_SUITE,
+        file_count=CAMPAIGN_FILES,
+        records_per_file=CAMPAIGN_RECORDS_PER_FILE,
+        seed=CAMPAIGN_SEED,
+    )
+
+    # serial seed path: caches off, workers=1 (the seed pipeline, end to end)
+    perf_cache.clear_caches()
+    with perf_cache.caching_disabled():
+        serial_wall, serial_result = _timed_min_of(2, lambda: _campaign(suite, workers=1))
+
+    # parallel, cache-aware path (benchmark.pedantic may only run once, so the
+    # first round goes through it and the best-of-two is timed manually)
+    perf_cache.clear_caches()
+
+    def parallel_campaign():
+        return _campaign(suite, workers=CAMPAIGN_WORKERS)
+
+    started = time.perf_counter()
+    parallel_result = benchmark.pedantic(parallel_campaign, rounds=1, iterations=1)
+    first_wall = time.perf_counter() - started
+    second_wall, parallel_result = _timed_min_of(1, parallel_campaign)
+    parallel_wall = min(first_wall, second_wall)
+
+    assert _campaign_counts(serial_result) == _campaign_counts(parallel_result), (
+        "sharded, cached campaign must reproduce the serial seed results exactly"
+    )
+
+    stats = perf_cache.cache_stats()
+    records = _total_records(parallel_result)
+    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    update_pipeline_report(
+        {
+            "pipeline_campaign": {
+                "suite": CAMPAIGN_SUITE,
+                "hosts": list(DEFAULT_HOSTS),
+                "files": CAMPAIGN_FILES,
+                "records": records,
+                "workers": CAMPAIGN_WORKERS,
+                "serial_seed_wall_s": round(serial_wall, 4),
+                "parallel_wall_s": round(parallel_wall, 4),
+                "speedup_vs_serial": round(speedup, 3),
+                "records_per_sec": round(records / parallel_wall, 1) if parallel_wall else None,
+                "min_speedup_required": MIN_SPEEDUP,
+                "cache_hit_rates": {name: entry["hit_rate"] for name, entry in stats.items()},
+                "cache_stats": stats,
+            }
+        }
+    )
+    print(
+        f"\npipeline campaign: serial(seed) {serial_wall:.3f}s, "
+        f"workers={CAMPAIGN_WORKERS} {parallel_wall:.3f}s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"parallel cache-aware pipeline must be at least {MIN_SPEEDUP}x faster than "
+        f"the serial seed path (got {speedup:.2f}x)"
+    )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Compare two ``BENCH_pipeline.json`` reports and flag regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.2]
+
+Exits non-zero when any shared entry regresses by more than ``--threshold``
+(default 20%).  Wall-time metrics (``*_wall_s``) regress when the current
+value is *higher* than baseline; throughput-style metrics
+(``speedup_vs_serial``, ``records_per_sec``) regress when it is *lower*.
+Entries or metrics present on only one side are reported but never fail the
+comparison (benchmarks are allowed to grow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric name -> True when higher values are better.
+_HIGHER_IS_BETTER = {
+    "speedup_vs_serial": True,
+    "records_per_sec": True,
+}
+
+
+def _is_wall_metric(name: str) -> bool:
+    return name.endswith("_wall_s")
+
+
+def _comparable_metrics(entry: dict) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for name, value in entry.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if _is_wall_metric(name) or name in _HIGHER_IS_BETTER:
+            metrics[name] = float(value)
+    return metrics
+
+
+def _load(path: Path) -> dict[str, dict]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise SystemExit(f"error: {path} has no 'entries' object (schema_version 1 expected)")
+    return entries
+
+
+def compare(baseline: dict[str, dict], current: dict[str, dict], threshold: float) -> list[str]:
+    """Human-readable comparison lines; regression lines start with 'REGRESSION'."""
+    lines: list[str] = []
+    for entry_name in sorted(set(baseline) | set(current)):
+        if entry_name not in baseline:
+            lines.append(f"new entry: {entry_name} (no baseline, skipped)")
+            continue
+        if entry_name not in current:
+            lines.append(f"missing entry: {entry_name} (present in baseline only, skipped)")
+            continue
+        base_metrics = _comparable_metrics(baseline[entry_name])
+        current_metrics = _comparable_metrics(current[entry_name])
+        for metric in sorted(set(base_metrics) & set(current_metrics)):
+            old, new = base_metrics[metric], current_metrics[metric]
+            if old == 0:
+                continue
+            higher_is_better = _HIGHER_IS_BETTER.get(metric, False)
+            change = (new - old) / old
+            worse = -change if higher_is_better else change
+            marker = "REGRESSION" if worse > threshold else "ok"
+            lines.append(
+                f"{marker:10s} {entry_name}.{metric}: {old:g} -> {new:g} ({change:+.1%})"
+            )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("current", type=Path, help="current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.2, help="allowed fractional regression (default 0.2 = 20%%)")
+    arguments = parser.parse_args(argv)
+
+    lines = compare(_load(arguments.baseline), _load(arguments.current), arguments.threshold)
+    for line in lines:
+        print(line)
+    regressions = sum(1 for line in lines if line.startswith("REGRESSION"))
+    if regressions:
+        print(f"\n{regressions} regression(s) beyond {arguments.threshold:.0%}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

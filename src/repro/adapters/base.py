@@ -81,6 +81,18 @@ class DBMSAdapter(ABC):
 
     # -- conveniences shared by all adapters ---------------------------------------
 
+    def fork_config(self) -> tuple[str, dict] | None:
+        """Registry name + kwargs with which an equivalent fresh adapter can be
+        built in a worker (for sharded execution), or None if it cannot.
+
+        The default is None — sharded runs fall back to serial execution —
+        because silently rebuilding an adapter without its constructor state
+        could change results.  Adapters opt in by returning their registry
+        name plus every kwarg needed to clone themselves (see
+        :class:`~repro.adapters.minidb_adapter.MiniDBAdapter`).
+        """
+        return None
+
     def execute_many(self, statements: list[str]) -> list[ExecutionOutcome]:
         """Execute statements in order, stopping early only on a crash."""
         outcomes = []

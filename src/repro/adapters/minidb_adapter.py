@@ -26,6 +26,12 @@ class MiniDBAdapter(DBMSAdapter):
         self.render_style = render_style
         self.session: Session | None = None
 
+    def fork_config(self) -> tuple[str, dict]:
+        # registry name "sqlite" builds the real sqlite3 adapter; the MiniDB
+        # emulation of the sqlite dialect is registered as "sqlite-mini"
+        registry_name = "sqlite-mini" if self.name == "sqlite" else self.name
+        return (registry_name, {"enable_faults": self.enable_faults, "seed": self.seed, "render_style": self.render_style})
+
     def connect(self) -> None:
         self.session = Session(dialect=self.dialect, enable_faults=self.enable_faults, seed=self.seed)
 

@@ -26,6 +26,9 @@ class SQLite3Adapter(DBMSAdapter):
         self.render_style = render_style
         self.connection: sqlite3.Connection | None = None
 
+    def fork_config(self) -> tuple[str, dict]:
+        return (self.name, {"timeout_seconds": self.timeout_seconds, "render_style": self.render_style})
+
     def connect(self) -> None:
         self.connection = sqlite3.connect(":memory:")
         self.connection.isolation_level = None  # autocommit; BEGIN/COMMIT pass through

@@ -1,0 +1,222 @@
+"""Sharded suite execution: run a `TestSuite`'s files across a worker pool.
+
+Test files are independent by construction — the runner resets the adapter
+before every file — so a suite can be split into per-file shards and executed
+concurrently, then merged back in file order.  The merged
+:class:`~repro.core.runner.SuiteResult` is identical to the serial runner's
+output: same per-file ordering, same per-record outcomes.
+
+Two pool flavours are supported:
+
+* ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor`; each
+  worker re-creates the adapter from the registry, so nothing stateful is
+  pickled (only the test files and the returned results travel).
+* ``"thread"`` — a :class:`concurrent.futures.ThreadPoolExecutor` fallback
+  for adapters that cannot be re-created in another process and for
+  single-core machines, where fork overhead cannot pay for itself.  Threaded
+  workers share the process-global statement caches
+  (:mod:`repro.perf.cache`), which are thread-safe.
+
+``"auto"`` picks processes when the machine has more than one usable core and
+threads otherwise, and *any* failure to bootstrap or finish the process pool
+(pickling errors, a sandbox without ``fork``, a broken pool) degrades to the
+threaded pool rather than failing the run.
+
+One determinism caveat: a MiniDB session's random() state persists across
+files in a serial run but is re-seeded in each worker's fresh adapter.  The
+generated corpora never invoke nondeterministic SQL functions, so shard merges
+are byte-identical; suites that do use random() should run with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.adapters.registry import available_adapters, create_adapter
+from repro.core.records import TestFile, TestSuite
+from repro.errors import AdapterNotFoundError
+from repro.core.runner import FileResult, SuiteResult, TestRunner
+from repro.perf import cache as perf_cache
+
+
+@dataclass(frozen=True)
+class RunnerSpec:
+    """A picklable recipe for rebuilding an equivalent :class:`TestRunner`."""
+
+    adapter_name: str
+    host_name: str
+    adapter_kwargs: tuple = ()            # sorted (key, value) pairs
+    available_extensions: tuple = ()
+    float_tolerance: float = 0.0
+    translate_dialect: bool = False
+    donor_dialect: str | None = None
+    max_records_per_file: int | None = None
+
+    def build_runner(self) -> TestRunner:
+        adapter = create_adapter(self.adapter_name, **dict(self.adapter_kwargs))
+        adapter.connect()
+        return TestRunner(
+            adapter,
+            host_name=self.host_name,
+            available_extensions=set(self.available_extensions),
+            float_tolerance=self.float_tolerance,
+            translate_dialect=self.translate_dialect,
+            donor_dialect=self.donor_dialect,
+            max_records_per_file=self.max_records_per_file,
+        )
+
+
+@dataclass
+class ShardedRunReport:
+    """Outcome of one sharded suite run plus its performance counters."""
+
+    result: SuiteResult
+    workers: int
+    executor: str                          # "process" | "thread" | "serial"
+    cache_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+
+def runner_spec_for(runner: TestRunner) -> RunnerSpec | None:
+    """Describe ``runner`` as a :class:`RunnerSpec`, or None if its adapter
+    cannot be re-created from the registry."""
+    config = runner.adapter.fork_config()
+    if config is None:
+        return None
+    adapter_name, adapter_kwargs = config
+    if adapter_name.lower() not in available_adapters():
+        return None
+    return RunnerSpec(
+        adapter_name=adapter_name,
+        host_name=runner.host_name,
+        adapter_kwargs=tuple(sorted(adapter_kwargs.items())),
+        available_extensions=tuple(sorted(runner.available_extensions)),
+        float_tolerance=runner.float_tolerance,
+        translate_dialect=runner.translate_dialect,
+        donor_dialect=runner.donor_dialect,
+        max_records_per_file=runner.max_records_per_file,
+    )
+
+
+def _stats_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[str, dict]:
+    """Per-cache counter increase between two :func:`perf.cache_stats` calls."""
+    delta: dict[str, dict] = {}
+    for name, stats in after.items():
+        base = before.get(name, {})
+        entry = {
+            "hits": stats.get("hits", 0) - base.get("hits", 0),
+            "misses": stats.get("misses", 0) - base.get("misses", 0),
+            "evictions": stats.get("evictions", 0) - base.get("evictions", 0),
+        }
+        lookups = entry["hits"] + entry["misses"]
+        entry["hit_rate"] = round(entry["hits"] / lookups, 4) if lookups else 0.0
+        delta[name] = entry
+    return delta
+
+
+def _run_shard(
+    spec: RunnerSpec,
+    shard: list[tuple[int, TestFile]],
+    caching: bool = True,
+    collect_stats: bool = True,
+) -> tuple[list[tuple[int, FileResult]], dict]:
+    """Worker entry point: run one chunk of files on a fresh adapter.
+
+    ``caching`` mirrors the submitting process's global cache switch into
+    process-pool workers (their module state starts fresh); ``collect_stats``
+    is disabled for thread workers, whose counters are global and measured
+    once around the whole run instead.
+    """
+    perf_cache.set_caching(caching)
+    before = perf_cache.cache_stats() if collect_stats else {}
+    runner = spec.build_runner()
+    try:
+        results = [(index, runner.run_file(test_file)) for index, test_file in shard]
+    finally:
+        runner.adapter.close()
+    stats = _stats_delta(before, perf_cache.cache_stats()) if collect_stats else {}
+    return results, stats
+
+
+def _merge(suite: TestSuite, spec: RunnerSpec, indexed_results: list[tuple[int, FileResult]]) -> SuiteResult:
+    merged = SuiteResult(suite=suite.name, host=spec.host_name)
+    merged.files = [file_result for _, file_result in sorted(indexed_results, key=lambda item: item[0])]
+    return merged
+
+
+def _shards(suite: TestSuite, workers: int) -> list[list[tuple[int, TestFile]]]:
+    """Round-robin file shards; deterministic and roughly size-balanced."""
+    indexed = list(enumerate(suite.files))
+    return [shard for shard in (indexed[offset::workers] for offset in range(workers)) if shard]
+
+
+def _run_with_pool(pool_class, suite: TestSuite, spec: RunnerSpec, workers: int, collect_stats: bool):
+    shards = _shards(suite, workers)
+    caching = perf_cache.caching_enabled()
+    with pool_class(max_workers=len(shards)) as pool:
+        futures = [pool.submit(_run_shard, spec, shard, caching, collect_stats) for shard in shards]
+        outcomes = [future.result() for future in futures]
+    indexed_results = [item for results, _ in outcomes for item in results]
+    worker_stats = perf_cache.merge_stats(*(stats for _, stats in outcomes))
+    return _merge(suite, spec, indexed_results), worker_stats
+
+
+def run_suite_sharded(
+    suite: TestSuite,
+    spec: RunnerSpec,
+    workers: int = 1,
+    executor: str = "auto",
+) -> ShardedRunReport:
+    """Run ``suite`` as per-file shards on a ``workers``-wide pool.
+
+    ``executor`` is ``"process"``, ``"thread"``, or ``"auto"`` (processes on
+    multi-core machines, threads otherwise).  Process-pool bootstrap failures
+    degrade to the threaded pool; ``workers <= 1`` or an empty suite runs
+    serially in-process.
+    """
+    if workers <= 1 or len(suite.files) <= 1:
+        before = perf_cache.cache_stats()
+        runner = spec.build_runner()
+        try:
+            result = runner.run_suite(suite)
+        finally:
+            runner.adapter.close()
+        return ShardedRunReport(
+            result=result,
+            workers=1,
+            executor="serial",
+            cache_stats=_stats_delta(before, perf_cache.cache_stats()),
+        )
+
+    if executor == "auto":
+        cores = os.cpu_count() or 1
+        executor = "process" if cores > 1 else "thread"
+
+    if executor == "process":
+        try:
+            result, worker_stats = _run_with_pool(ProcessPoolExecutor, suite, spec, workers, collect_stats=True)
+            # worker processes accumulated cache activity in their own address
+            # space; fold it into this process's counters so cache_stats()
+            # reports total pipeline activity
+            perf_cache.absorb_stats(worker_stats)
+            return ShardedRunReport(result=result, workers=workers, executor="process", cache_stats=worker_stats)
+        except (BrokenProcessPool, pickle.PicklingError, NotImplementedError, ImportError, OSError, AdapterNotFoundError):
+            # pool infrastructure failures (no fork support, sandboxed
+            # semaphores, unpicklable payloads, killed workers) degrade to
+            # threads; genuine errors raised inside a shard propagate
+            executor = "thread"
+
+    # thread workers share this process's caches: per-shard deltas would
+    # overlap, so stats are measured once around the whole run instead
+    before = perf_cache.cache_stats()
+    result, _ = _run_with_pool(ThreadPoolExecutor, suite, spec, workers, collect_stats=False)
+    return ShardedRunReport(
+        result=result,
+        workers=workers,
+        executor="thread",
+        cache_stats=_stats_delta(before, perf_cache.cache_stats()),
+    )

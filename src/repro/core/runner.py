@@ -58,19 +58,46 @@ class RecordResult:
 
 @dataclass
 class FileResult:
-    """Results of running one test file on one host."""
+    """Results of running one test file on one host.
+
+    Outcome counts are accumulated incrementally instead of re-scanning
+    ``results`` on every property access (the seed behaviour): counters are
+    caught up lazily with whatever was appended since the last access, so the
+    properties stay O(1) amortized while ``results`` remains a plain,
+    append-to-able list.  Replacing ``results`` wholesale (any length) and
+    truncation are detected; only in-place element *overwrites* (which no
+    caller performs) would go unnoticed.
+    """
 
     path: str
     suite: str
     host: str
     results: list[RecordResult] = field(default_factory=list)
+    _outcome_counts: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _counted: int = field(default=0, init=False, repr=False, compare=False)
+    _counted_list_id: int = field(default=0, init=False, repr=False, compare=False)
+
+    def _refresh_counts(self) -> dict:
+        results = self.results
+        if self._counted > len(results) or self._counted_list_id != id(results):
+            # results was truncated or the list object replaced: recount
+            self._outcome_counts = {}
+            self._counted = 0
+            self._counted_list_id = id(results)
+        if self._counted < len(results):
+            counts = self._outcome_counts
+            for result in results[self._counted :]:
+                outcome = result.outcome
+                counts[outcome] = counts.get(outcome, 0) + 1
+            self._counted = len(results)
+        return self._outcome_counts
 
     def count(self, outcome: RecordOutcome) -> int:
-        return sum(1 for result in self.results if result.outcome is outcome)
+        return self._refresh_counts().get(outcome, 0)
 
     @property
     def executed(self) -> int:
-        return sum(1 for result in self.results if result.outcome is not RecordOutcome.SKIP)
+        return len(self.results) - self.count(RecordOutcome.SKIP)
 
     @property
     def passed(self) -> int:
@@ -210,8 +237,21 @@ class TestRunner:
                 crashed = True
         return file_result
 
-    def run_suite(self, suite: TestSuite) -> SuiteResult:
-        """Execute every file of ``suite``, each from a clean database."""
+    def run_suite(self, suite: TestSuite, workers: int = 1, executor: str = "auto") -> SuiteResult:
+        """Execute every file of ``suite``, each from a clean database.
+
+        With ``workers > 1`` the suite is split into per-file shards executed
+        on a worker pool (see :mod:`repro.core.parallel`); results are merged
+        in file order, so the outcome is identical to the serial run.  Falls
+        back to serial execution when the adapter cannot be re-created in a
+        worker (no registry entry).
+        """
+        if workers > 1:
+            from repro.core.parallel import runner_spec_for, run_suite_sharded
+
+            spec = runner_spec_for(self)
+            if spec is not None:
+                return run_suite_sharded(suite, spec, workers=workers, executor=executor).result
         suite_result = SuiteResult(suite=suite.name, host=self.host_name)
         for test_file in suite.files:
             suite_result.files.append(self.run_file(test_file))

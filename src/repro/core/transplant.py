@@ -15,6 +15,7 @@ from repro.adapters.faults import FaultReport, FaultSummary
 from repro.adapters.registry import create_adapter
 from repro.core.records import TestSuite
 from repro.core.runner import RecordOutcome, SuiteResult, TestRunner
+from repro.perf import cache as perf_cache
 
 #: Host names used throughout the experiments, in the paper's column order.
 DEFAULT_HOSTS = ("sqlite", "postgres", "duckdb", "mysql")
@@ -67,12 +68,24 @@ def run_transplant(
     translate_dialect: bool = False,
     available_extensions: set[str] | None = None,
     max_records_per_file: int | None = None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> TransplantResult:
-    """Run ``suite`` on ``host`` and collect results plus crash/hang reports."""
+    """Run ``suite`` on ``host`` and collect results plus crash/hang reports.
+
+    ``workers > 1`` shards the suite's files across a worker pool (see
+    :mod:`repro.core.parallel`); the merged result is identical to the serial
+    run.  ``executor`` selects the pool flavour (``"process"``, ``"thread"``,
+    or ``"auto"``).
+    """
     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
     if adapter is None:
         adapter = create_adapter(host)
-        adapter.connect()
+        if workers <= 1:
+            # the sharded path builds fresh adapters inside the workers; only
+            # the serial path executes on this instance (run_file reconnects
+            # via reset() anyway, but connecting here keeps seed behaviour)
+            adapter.connect()
     if available_extensions is None:
         available_extensions = DEFAULT_EXTENSIONS.get(host, set()) if donor == host else set()
     runner = TestRunner(
@@ -84,7 +97,7 @@ def run_transplant(
         donor_dialect=donor,
         max_records_per_file=max_records_per_file,
     )
-    suite_result = runner.run_suite(suite)
+    suite_result = runner.run_suite(suite, workers=workers, executor=executor)
 
     crashes: list[FaultReport] = []
     hangs: list[FaultReport] = []
@@ -134,11 +147,26 @@ def run_matrix(
     float_tolerance: float = 0.0,
     translate_dialect: bool = False,
     max_records_per_file: int | None = None,
+    workers: int = 1,
+    executor: str = "auto",
+    reuse_donor_runs_from: TransplantMatrix | None = None,
 ) -> TransplantMatrix:
-    """Run every suite on every host (the Figure 4 campaign)."""
+    """Run every suite on every host (the Figure 4 campaign).
+
+    ``reuse_donor_runs_from`` lets a translated campaign reuse the donor-on-
+    donor entries of an already-computed plain matrix: translation is the
+    identity when donor == host (the runner skips it outright), so those runs
+    are exactly equal and re-executing them is pure redundancy.  The reuse is
+    part of the cache layer and honours the global cache switch.
+    """
     matrix = TransplantMatrix()
     for suite in suites.values():
         for host in hosts:
+            if reuse_donor_runs_from is not None and perf_cache.caching_enabled():
+                donor = DONOR_OF_SUITE.get(suite.name, suite.name)
+                if donor == host and (suite.name, host) in reuse_donor_runs_from.entries:
+                    matrix.add(reuse_donor_runs_from.get(suite.name, host))
+                    continue
             matrix.add(
                 run_transplant(
                     suite,
@@ -146,6 +174,8 @@ def run_matrix(
                     float_tolerance=float_tolerance,
                     translate_dialect=translate_dialect,
                     max_records_per_file=max_records_per_file,
+                    workers=workers,
+                    executor=executor,
                 )
             )
     return matrix

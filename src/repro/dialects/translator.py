@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dialects.base import DialectProfile, DivisionSemantics
+from repro.perf import cache as perf_cache
 from repro.sqlparser.tokenizer import Token, TokenType, tokenize
 
 #: Function-name equivalences: maps (donor function, host dialect) -> host function.
@@ -106,11 +107,28 @@ def _find_operand_start(parts: list[str]) -> int:
     return i
 
 
+#: Memoized translations keyed on ``(sql, source.name, target.name)``.  Suites
+#: repeat schema-setup statements thousands of times per (donor, host) pair;
+#: translation is a pure function of the key, so cached results are shared by
+#: reference — callers must treat a :class:`TranslationResult` as immutable.
+_TRANSLATE_CACHE = perf_cache.LRUCache("translate", maxsize=16384)
+
+
 def translate(sql: str, source: DialectProfile, target: DialectProfile) -> TranslationResult:
     """Translate one statement from ``source`` dialect to ``target`` dialect."""
     if source.name == target.name:
         return TranslationResult(sql=sql)
+    if not perf_cache.caching_enabled():
+        return _translate_uncached(sql, source, target)
+    key = (sql, source.name, target.name)
+    result = _TRANSLATE_CACHE.get(key)
+    if result is None:
+        result = _translate_uncached(sql, source, target)
+        _TRANSLATE_CACHE.put(key, result)
+    return result
 
+
+def _translate_uncached(sql: str, source: DialectProfile, target: DialectProfile) -> TranslationResult:
     try:
         tokens = tokenize(sql)
     except Exception:

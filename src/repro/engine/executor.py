@@ -20,6 +20,7 @@ from repro.engine.expressions import ExpressionEvaluator, RowContext
 from repro.engine.functions import evaluate_aggregate, is_aggregate
 from repro.engine.storage import Database, Table
 from repro.engine.values import compare_values, render_value
+from repro.perf import cache as perf_cache
 from repro.errors import CatalogError, DatabaseError, EngineHang, UnsupportedStatementError
 
 #: Iteration budget for recursive CTEs before MiniDB declares a hang.
@@ -57,13 +58,110 @@ class Relation:
         )
 
 
+def _binding_keys(columns: list[tuple[str | None, str]]) -> list[tuple[str, str | None]]:
+    """Precomputed (bare key, qualified key) pairs for one column list."""
+    return [
+        (name.lower(), f"{qualifier}.{name}".lower() if qualifier else None)
+        for qualifier, name in columns
+    ]
+
+
 def _bind_row(relation: Relation, row: list[Any], outer: RowContext | None = None) -> RowContext:
-    context = RowContext(outer=outer)
-    for (qualifier, name), value in zip(relation.columns, row):
-        context.bind(name, value)
+    if not perf_cache.caching_enabled():
+        context = RowContext(outer=outer)
+        for (qualifier, name), value in zip(relation.columns, row):
+            context.bind(name, value)
+            if qualifier:
+                context.bind(f"{qualifier}.{name}", value)
+        return context
+    # binding keys are cached per relation: columns are fixed once a relation
+    # is materialised, so the per-row cost is two dict stores per column
+    keys = getattr(relation, "_bind_keys", None)
+    if keys is None:
+        keys = _binding_keys(relation.columns)
+        relation._bind_keys = keys
+    values: dict[str, Any] = {}
+    for (bare, qualified), value in zip(keys, row):
+        values[bare] = value
+        if qualified:
+            values[qualified] = value
+    return RowContext(values, outer=outer)
+
+
+#: Node types whose column references can be collected statically (for the
+#: minimal-binding filter fast path).  Subqueries and Star are deliberately
+#: absent: they may reference columns that cannot be enumerated here.
+def _collect_column_refs(expression: ast.Expression) -> "list[ast.ColumnRef] | None":
+    """All ColumnRefs in ``expression``, or None when they cannot be statically
+    enumerated (subqueries, unknown node types).
+
+    The result is memoized on the expression node: plans are shared through
+    the statement cache, so the walk happens once per distinct statement.
+    """
+    cached = getattr(expression, "_column_refs", False)
+    if cached is not False:
+        return cached
+    refs: list[ast.ColumnRef] = []
+    stack: list[Any] = [expression]
+    result: "list[ast.ColumnRef] | None" = refs
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        node_type = type(node)
+        if node_type is ast.Literal:
+            continue
+        if node_type is ast.ColumnRef:
+            refs.append(node)
+        elif node_type is ast.UnaryOp:
+            stack.append(node.operand)
+        elif node_type is ast.BinaryOp:
+            stack.extend((node.left, node.right))
+        elif node_type is ast.Cast:
+            stack.append(node.operand)
+        elif node_type is ast.FunctionCall:
+            stack.extend(node.args)
+        elif node_type is ast.CaseExpression:
+            stack.extend((node.operand, node.default))
+            for condition, outcome in node.whens:
+                stack.extend((condition, outcome))
+        elif node_type is ast.InExpression:
+            if node.subquery is not None:
+                result = None
+                break
+            stack.append(node.operand)
+            stack.extend(node.items)
+        elif node_type is ast.BetweenExpression:
+            stack.extend((node.operand, node.low, node.high))
+        elif node_type is ast.LikeExpression:
+            stack.extend((node.operand, node.pattern))
+        elif node_type is ast.IsNullExpression:
+            stack.append(node.operand)
+        elif node_type is ast.RowValue or node_type is ast.ListLiteral:
+            stack.extend(node.items)
+        else:
+            # unknown or row-set node (Exists, ScalarSubquery, Star, ...)
+            result = None
+            break
+    try:
+        expression._column_refs = result
+    except AttributeError:  # pragma: no cover - frozen/slotted nodes
+        pass
+    return result
+
+
+def _column_positions(columns: list[tuple[str | None, str]]) -> dict[str, int]:
+    """Binding-key -> column index, with :func:`_bind_row`'s overwrite order."""
+    positions: dict[str, int] = {}
+    for index, (qualifier, name) in enumerate(columns):
+        positions[name.lower()] = index
         if qualifier:
-            context.bind(f"{qualifier}.{name}", value)
-    return context
+            positions[f"{qualifier}.{name}".lower()] = index
+    return positions
+
+
+def _ref_binding_key(ref: ast.ColumnRef) -> str:
+    return f"{ref.table}.{ref.name}".lower() if ref.table else ref.name.lower()
 
 
 def _expression_name(expression: ast.Expression) -> str:
@@ -285,10 +383,20 @@ class SelectExecutor:
         if core.where is not None:
             self._touch("executor.filter")
             kept = []
-            for row in source.rows:
-                context = _bind_row(source, row, outer)
-                if self.evaluator.evaluate_predicate(core.where, context):
-                    kept.append(row)
+            binding = self._filter_binding(core.where, source) if perf_cache.caching_enabled() and outer is None else None
+            if binding is not None:
+                # bind only the columns the predicate references
+                evaluate_predicate = self.evaluator.evaluate_predicate
+                where = core.where
+                for row in source.rows:
+                    context = RowContext({key: row[index] for key, index in binding})
+                    if evaluate_predicate(where, context):
+                        kept.append(row)
+            else:
+                for row in source.rows:
+                    context = _bind_row(source, row, outer)
+                    if self.evaluator.evaluate_predicate(core.where, context):
+                        kept.append(row)
             source = Relation(columns=source.columns, rows=kept)
 
         has_aggregates = bool(core.group_by) or any(_contains_aggregate(item.expression) for item in core.items)
@@ -464,11 +572,56 @@ class SelectExecutor:
         expanded = self._expand_items(core.items, source)
         columns = [(None, name) for _, name in expanded]
         result = Relation(columns=columns, rows=[], source_columns=list(source.columns), source_rows=[])
+        if perf_cache.caching_enabled() and outer is None:
+            # plain-column projections resolve to source positions once and
+            # slice rows directly, skipping per-row binding and evaluation
+            indices = self._projection_indices(expanded, source)
+            if indices is not None:
+                for row in source.rows:
+                    result.rows.append([row[index] for index in indices])
+                    result.source_rows.append(row)
+                return result
         for row in source.rows:
             context = _bind_row(source, row, outer)
             result.rows.append([self.evaluator.evaluate(expression, context) for expression, _ in expanded])
             result.source_rows.append(row)
         return result
+
+    @staticmethod
+    def _projection_indices(expanded: list, source: Relation) -> list[int] | None:
+        """Source-column positions when every projected item is a ColumnRef.
+
+        Position resolution mirrors the binding-dict semantics of
+        :func:`_bind_row` (a later column overwrites an earlier one of the
+        same name); anything unresolvable falls back to the evaluator path.
+        """
+        if not all(type(expression) is ast.ColumnRef for expression, _ in expanded):
+            return None
+        positions = _column_positions(source.columns)
+        indices: list[int] = []
+        for expression, _ in expanded:
+            position = positions.get(_ref_binding_key(expression))
+            if position is None:
+                return None
+            indices.append(position)
+        return indices
+
+    @staticmethod
+    def _filter_binding(where: ast.Expression, source: Relation) -> "list[tuple[str, int]] | None":
+        """(binding key, column index) pairs covering every column the
+        predicate references, or None when the fast path does not apply."""
+        refs = _collect_column_refs(where)
+        if refs is None:
+            return None
+        positions = _column_positions(source.columns)
+        binding: dict[str, int] = {}
+        for ref in refs:
+            key = _ref_binding_key(ref)
+            index = positions.get(key)
+            if index is None:
+                return None
+            binding[key] = index
+        return list(binding.items())
 
     def _execute_aggregation(self, core: ast.SelectCore, source: Relation, outer: RowContext | None) -> Relation:
         self._touch("executor.aggregate")
@@ -583,28 +736,75 @@ class SelectExecutor:
             return Relation(columns=columns, rows=rows)
         raise UnsupportedStatementError(f"unsupported compound operator: {operator}")
 
+    def _order_by_plan(
+        self, relation: Relation, order_by: list[ast.OrderItem], source_rows
+    ) -> "list[tuple[str, int]] | None":
+        """Per-item (where, index) value extractors when every ORDER BY item is
+        a plain column reference or output position; None otherwise.
+
+        ``where`` is ``"row"`` (output row) or ``"src"`` (pre-projection source
+        row).  Output columns are resolved after source columns and therefore
+        win on name clashes, mirroring the binding order of the general path.
+        """
+        positions: dict[str, tuple[str, int]] = {}
+        if source_rows is not None and relation.source_columns is not None:
+            for where, index in _column_positions(relation.source_columns).items():
+                positions[where] = ("src", index)
+        for where, index in _column_positions(relation.columns).items():
+            positions[where] = ("row", index)
+        plan: list[tuple[str, int]] = []
+        for item in order_by:
+            expression = item.expression
+            if isinstance(expression, ast.Literal) and isinstance(expression.value, int):
+                plan.append(("pos", expression.value - 1))
+                continue
+            if type(expression) is ast.ColumnRef:
+                extractor = positions.get(_ref_binding_key(expression))
+                if extractor is not None:
+                    plan.append(extractor)
+                    continue
+            return None
+        return plan
+
     def _apply_order_by(self, relation: Relation, order_by: list[ast.OrderItem], outer: RowContext | None) -> Relation:
         self._touch("executor.order_by")
         source_rows = relation.source_rows if relation.source_rows is not None and len(relation.source_rows) == len(relation.rows) else None
+        plan = self._order_by_plan(relation, order_by, source_rows) if perf_cache.caching_enabled() and outer is None else None
+        if plan is None:
+            # binding keys are computed once per ORDER BY instead of once per row
+            output_keys = _binding_keys(relation.columns)
+            source_keys = _binding_keys(relation.source_columns) if source_rows is not None and relation.source_columns is not None else None
 
         def sort_key_for(indexed_row: tuple[int, list[Any]]) -> list[tuple]:
             index, row = indexed_row
-            context = RowContext(outer=outer)
-            # bind the pre-projection source columns first so ORDER BY can
-            # reference columns that were not selected; output columns are
-            # bound afterwards and therefore win on name clashes.
-            if source_rows is not None and relation.source_columns is not None:
-                for (qualifier, name), value in zip(relation.source_columns, source_rows[index]):
-                    context.bind(name, value)
-                    if qualifier:
-                        context.bind(f"{qualifier}.{name}", value)
-            for (qualifier, name), value in zip(relation.columns, row):
-                context.bind(name, value)
-                if qualifier:
-                    context.bind(f"{qualifier}.{name}", value)
+            if plan is not None:
+                context = None
+            else:
+                values: dict[str, Any] = {}
+                # bind the pre-projection source columns first so ORDER BY can
+                # reference columns that were not selected; output columns are
+                # bound afterwards and therefore win on name clashes.
+                if source_keys is not None:
+                    for (bare, qualified), value in zip(source_keys, source_rows[index]):
+                        values[bare] = value
+                        if qualified:
+                            values[qualified] = value
+                for (bare, qualified), value in zip(output_keys, row):
+                    values[bare] = value
+                    if qualified:
+                        values[qualified] = value
+                context = RowContext(values, outer=outer)
             keys: list[tuple] = []
-            for item in order_by:
-                if isinstance(item.expression, ast.Literal) and isinstance(item.expression.value, int):
+            for item_index, item in enumerate(order_by):
+                if plan is not None:
+                    where, position = plan[item_index]
+                    if where == "row":
+                        value = row[position]
+                    elif where == "src":
+                        value = source_rows[index][position]
+                    else:
+                        value = row[position] if 0 <= position < len(row) else None
+                elif isinstance(item.expression, ast.Literal) and isinstance(item.expression.value, int):
                     position = item.expression.value - 1
                     value = row[position] if 0 <= position < len(row) else None
                 else:

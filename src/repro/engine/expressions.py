@@ -30,32 +30,61 @@ from repro.errors import (
 )
 
 
+#: Sentinel marking a column name bound under more than one qualifier.
+_AMBIGUOUS = object()
+
+#: Interned "operator.<op>" feature strings (built once instead of per call).
+_OPERATOR_FEATURES: dict[str, str] = {}
+
+
 class RowContext:
     """Column name -> value bindings for the row currently being evaluated.
 
     Both bare (``a``) and qualified (``t1.a``) names are stored; an outer
-    context supports correlated subqueries.
+    context supports correlated subqueries.  Unqualified lookups that have to
+    fall back to qualified bindings are resolved through a lazily built
+    suffix index instead of re-scanning every binding on each reference; the
+    index is rebuilt whenever new bindings have been added since it was built.
     """
 
+    __slots__ = ("values", "outer", "_suffix_index", "_suffix_index_size")
+
     def __init__(self, values: dict[str, Any] | None = None, outer: "RowContext | None" = None):
-        self.values: dict[str, Any] = values or {}
+        self.values: dict[str, Any] = values if values is not None else {}
         self.outer = outer
+        self._suffix_index: dict[str, Any] | None = None
+        self._suffix_index_size = -1
 
     def bind(self, name: str, value: Any) -> None:
         self.values[name.lower()] = value
 
+    def _qualified_suffix_index(self) -> dict[str, Any]:
+        """Map of bare column name -> qualified binding key (or ambiguity mark)."""
+        index: dict[str, Any] = {}
+        for binding in self.values:
+            _, dot, suffix = binding.rpartition(".")
+            if not dot:
+                continue
+            index[suffix] = _AMBIGUOUS if suffix in index else binding
+        self._suffix_index = index
+        self._suffix_index_size = len(self.values)
+        return index
+
     def lookup(self, name: str, table: str | None = None) -> Any:
         key = f"{table}.{name}".lower() if table else name.lower()
-        if key in self.values:
-            return self.values[key]
+        values = self.values
+        if key in values:
+            return values[key]
         if table is None:
             # try any qualified binding that ends with .name
-            suffix = f".{name.lower()}"
-            matches = [binding for binding in self.values if binding.endswith(suffix)]
-            if len(matches) == 1:
-                return self.values[matches[0]]
-            if len(matches) > 1:
+            index = self._suffix_index
+            if index is None or self._suffix_index_size != len(values):
+                index = self._qualified_suffix_index()
+            match = index.get(key)
+            if match is _AMBIGUOUS:
                 raise CatalogError(f"ambiguous column name: {name}")
+            if match is not None:
+                return values[match]
         if self.outer is not None:
             return self.outer.lookup(name, table)
         raise CatalogError(f"no such column: {key}")
@@ -82,6 +111,9 @@ class ExpressionEvaluator:
         self.functions = functions
         self.subquery_executor = subquery_executor
         self._feature_hook = feature_hook or (lambda name: None)
+        # node class -> bound handler, filled on first encounter; avoids the
+        # per-call string build + getattr of the seed dispatch
+        self._dispatch_table: dict[type, Callable[[Any, RowContext], Any]] = {}
 
     # -- helpers ----------------------------------------------------------------
 
@@ -94,10 +126,13 @@ class ExpressionEvaluator:
     # -- entry point ------------------------------------------------------------
 
     def evaluate(self, node: ast.Expression, context: RowContext) -> Any:
-        method_name = "_eval_" + type(node).__name__.lower()
-        method = getattr(self, method_name, None)
+        node_type = type(node)
+        method = self._dispatch_table.get(node_type)
         if method is None:
-            raise DatabaseError(f"cannot evaluate expression node {type(node).__name__}")
+            method = getattr(self, "_eval_" + node_type.__name__.lower(), None)
+            if method is None:
+                raise DatabaseError(f"cannot evaluate expression node {node_type.__name__}")
+            self._dispatch_table[node_type] = method
         return method(node, context)
 
     def evaluate_predicate(self, node: ast.Expression, context: RowContext) -> bool:
@@ -143,7 +178,10 @@ class ExpressionEvaluator:
 
     def _eval_binaryop(self, node: ast.BinaryOp, context: RowContext) -> Any:
         operator = node.operator
-        self._touch(f"operator.{operator}")
+        feature = _OPERATOR_FEATURES.get(operator)
+        if feature is None:
+            feature = _OPERATOR_FEATURES[operator] = "operator." + operator
+        self._touch(feature)
 
         if operator in ("AND", "OR"):
             left = self.evaluate(node.left, context)

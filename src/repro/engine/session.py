@@ -21,6 +21,7 @@ from repro.engine.functions import FunctionRegistry
 from repro.engine.parser import parse_sql
 from repro.engine.storage import Column, Database, Index, Table, View
 from repro.engine.values import render_value
+from repro.perf import cache as perf_cache
 from repro.errors import (
     CatalogError,
     ConfigurationError,
@@ -57,6 +58,24 @@ class QueryResult:
     def rendered_rows(self, style: str = "python") -> list[list[str]]:
         """Rows rendered to strings the way the Python connectors present them."""
         return [[render_value(value, style) for value in row] for row in self.rows]
+
+
+#: Prepared-plan cache: SQL text -> parsed statement (or the syntax error it
+#: raises).  Parsing accepts a superset of every studied dialect and makes no
+#: dialect- or state-dependent decisions, and execution never mutates the AST,
+#: so plans are shared process-wide: replaying one suite on four hosts parses
+#: each distinct statement once instead of four times.
+_PLAN_CACHE = perf_cache.LRUCache("plan", maxsize=16384)
+
+#: Marks an InsertStatement whose VALUES rows contain non-literal expressions
+#: (so the literal-row memo is skipped without re-scanning the AST).
+_NOT_ALL_LITERALS = object()
+
+#: Fault-signature screening cache: ``(dialect, sql)`` -> tuple of signatures
+#: whose *pattern* matches the normalized statement.  Pattern matching is a
+#: pure function of the statement text; the state-dependent parts of fault
+#: emulation (transaction state, settings) are evaluated on every call.
+_FAULT_MATCH_CACHE = perf_cache.LRUCache("fault_match", maxsize=16384)
 
 
 class Session:
@@ -113,13 +132,33 @@ class Session:
 
     # -- fault emulation ------------------------------------------------------------
 
+    def _match_fault_signatures(self, sql: str) -> tuple:
+        normalized = " ".join(sql.split())
+        return tuple(
+            signature
+            for signature in self.dialect.fault_signatures
+            if re.search(signature.pattern, normalized, flags=re.IGNORECASE | re.DOTALL)
+        )
+
+    def _matching_fault_signatures(self, sql: str) -> tuple:
+        """Signatures whose pattern matches ``sql`` (state checks happen later)."""
+        if not perf_cache.caching_enabled():
+            return self._match_fault_signatures(sql)
+        key = (self.dialect.name, sql)
+        matched = _FAULT_MATCH_CACHE.get(key)
+        if matched is None:
+            matched = self._match_fault_signatures(sql)
+            _FAULT_MATCH_CACHE.put(key, matched)
+        return matched
+
     def _check_faults(self, sql: str) -> None:
         if not self.enable_faults or not self.dialect.fault_signatures:
             return
+        matched = self._matching_fault_signatures(sql)
+        if not matched:
+            return
         normalized = " ".join(sql.split())
-        for signature in self.dialect.fault_signatures:
-            if not re.search(signature.pattern, normalized, flags=re.IGNORECASE | re.DOTALL):
-                continue
+        for signature in matched:
             if signature.condition == "update_after_commit":
                 table_match = re.match(r"UPDATE\s+(\w+)", normalized, flags=re.IGNORECASE)
                 table = table_match.group(1).lower() if table_match else ""
@@ -145,11 +184,25 @@ class Session:
             return QueryResult(status="EMPTY")
         self.statement_count += 1
         self._check_faults(sql)
-        try:
-            statement = parse_sql(sql)
-        except SQLSyntaxError:
-            raise
+        statement = self._prepare_plan(sql)
         return self._dispatch(statement, sql)
+
+    def _prepare_plan(self, sql: str) -> Any:
+        """Parse ``sql``, memoizing the plan (and syntax errors) process-wide."""
+        if not perf_cache.caching_enabled():
+            return parse_sql(sql)
+        entry = _PLAN_CACHE.get(sql)
+        if entry is None:
+            try:
+                entry = (True, parse_sql(sql))
+            except SQLSyntaxError as error:
+                entry = (False, error)
+            _PLAN_CACHE.put(sql, entry)
+        ok, payload = entry
+        if ok:
+            return payload
+        # raise a fresh instance so concurrent workers never share tracebacks
+        raise type(payload)(*payload.args)
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a multi-statement script, stopping at the first error."""
@@ -222,9 +275,7 @@ class Session:
             relation = self._executor.execute(statement.select)
             rows_to_insert = [list(row) for row in relation.rows]
         else:
-            context = RowContext()
-            for row_expressions in statement.rows:
-                rows_to_insert.append([self._evaluator.evaluate(expression, context) for expression in row_expressions])
+            rows_to_insert = self._insert_values(statement)
 
         inserted = 0
         for row in rows_to_insert:
@@ -236,6 +287,34 @@ class Session:
             )
             inserted += 1
         return QueryResult(rowcount=inserted, status=f"INSERT {inserted}", statement_type="INSERT")
+
+    def _insert_values(self, statement: ast.InsertStatement) -> list[list[Any]]:
+        """Evaluate an INSERT's VALUES rows.
+
+        All-literal rows (the overwhelmingly common case in recorded suites)
+        are memoized on the statement AST: literal evaluation is dialect- and
+        state-independent, and plans are shared process-wide, so replaying a
+        suite on another host reuses the evaluated rows.  Values are immutable
+        scalars and downstream code (row arrangement, coercion) never mutates
+        the row lists, so sharing them is safe.
+        """
+        if perf_cache.caching_enabled():
+            cached = getattr(statement, "_literal_rows", None)
+            if cached is not None:
+                return cached if cached is not _NOT_ALL_LITERALS else self._evaluate_insert_rows(statement)
+            if all(type(expression) is ast.Literal for row in statement.rows for expression in row):
+                rows = [[expression.value for expression in row] for row in statement.rows]
+                statement._literal_rows = rows
+                return rows
+            statement._literal_rows = _NOT_ALL_LITERALS
+        return self._evaluate_insert_rows(statement)
+
+    def _evaluate_insert_rows(self, statement: ast.InsertStatement) -> list[list[Any]]:
+        context = RowContext()
+        return [
+            [self._evaluator.evaluate(expression, context) for expression in row_expressions]
+            for row_expressions in statement.rows
+        ]
 
     def _arrange_insert_row(self, table: Table, columns: list[str], values: list[Any]) -> list[Any]:
         if not columns:

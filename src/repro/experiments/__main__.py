@@ -14,6 +14,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*", default=[], help="experiment ids (default: all); e.g. table4 figure2 bugs")
     parser.add_argument("--scale", type=float, default=1.0, help="corpus scale factor (default 1.0)")
     parser.add_argument("--seed", type=int, default=0, help="corpus generation seed (default 0)")
+    parser.add_argument("--workers", type=int, default=1, help="worker-pool width for suite execution (default 1 = serial)")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     arguments = parser.parse_args(argv)
 
@@ -23,7 +24,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     selected = arguments.experiments or list(EXPERIMENTS)
-    context = ExperimentContext(scale=arguments.scale, seed=arguments.seed)
+    context = ExperimentContext(scale=arguments.scale, seed=arguments.seed, workers=arguments.workers)
     for experiment_id in selected:
         result = run_experiment(experiment_id, context)
         print(result.text)

@@ -31,10 +31,21 @@ class ExperimentContext:
     whole campaign deterministic.
     """
 
-    def __init__(self, scale: float = 1.0, seed: int = 0, hosts: tuple[str, ...] = DEFAULT_HOSTS):
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        hosts: tuple[str, ...] = DEFAULT_HOSTS,
+        workers: int = 1,
+        executor: str = "auto",
+    ):
         self.scale = scale
         self.seed = seed
         self.hosts = hosts
+        #: worker-pool width used for every cross-execution campaign; all
+        #: table/figure drivers inherit it through the shared matrices
+        self.workers = workers
+        self.executor = executor
         self._suites: dict[str, TestSuite] | None = None
         self._mysql_suite: TestSuite | None = None
         self._matrix: TransplantMatrix | None = None
@@ -70,14 +81,23 @@ class ExperimentContext:
     def matrix(self) -> TransplantMatrix:
         """The full cross-execution matrix (every suite on every host)."""
         if self._matrix is None:
-            self._matrix = run_matrix(self.suites, hosts=self.hosts)
+            self._matrix = run_matrix(self.suites, hosts=self.hosts, workers=self.workers, executor=self.executor)
         return self._matrix
 
     @property
     def translated_matrix(self) -> TransplantMatrix:
         """The same matrix with the cross-dialect translator enabled (ablation)."""
         if self._translated_matrix is None:
-            self._translated_matrix = run_matrix(self.suites, hosts=self.hosts, translate_dialect=True)
+            self._translated_matrix = run_matrix(
+                self.suites,
+                hosts=self.hosts,
+                translate_dialect=True,
+                workers=self.workers,
+                executor=self.executor,
+                # donor-on-donor runs are translation no-ops: reuse them from
+                # the plain matrix when it has already been computed
+                reuse_donor_runs_from=self._matrix,
+            )
         return self._translated_matrix
 
     def donor_result(self, suite: str):

@@ -1,0 +1,26 @@
+"""Performance subsystem: statement-level caches and pipeline instrumentation.
+
+See :mod:`repro.perf.cache` for the memoization layer shared by the tokenizer,
+the dialect translator, and the MiniDB engine, and
+:mod:`repro.core.parallel` for the sharded suite executor built on top of it.
+"""
+
+from repro.perf.cache import (
+    LRUCache,
+    cache_stats,
+    caching_disabled,
+    caching_enabled,
+    clear_caches,
+    merge_stats,
+    set_caching,
+)
+
+__all__ = [
+    "LRUCache",
+    "cache_stats",
+    "caching_disabled",
+    "caching_enabled",
+    "clear_caches",
+    "merge_stats",
+    "set_caching",
+]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import SQLSyntaxError
+from repro.perf import cache as perf_cache
 
 
 class TokenType(enum.Enum):
@@ -347,9 +348,34 @@ def iter_tokens(sql: str, include_whitespace: bool = False, include_comments: bo
         raise SQLSyntaxError(f"unexpected character {ch!r} at offset {pos}")
 
 
+#: Memoized token streams for the default (significant-tokens-only) mode.
+#: Values are tuples: the public API hands out fresh lists so callers may
+#: mutate their copy without corrupting the cache.
+_TOKEN_CACHE = perf_cache.LRUCache("tokenize", maxsize=16384)
+
+#: Statements longer than this are not worth interning (one-off bulk scripts).
+_TOKEN_CACHE_MAX_SQL = 20_000
+
+
 def tokenize(sql: str, include_whitespace: bool = False, include_comments: bool = False) -> list[Token]:
-    """Tokenize ``sql`` into a list of :class:`Token` objects."""
-    return list(iter_tokens(sql, include_whitespace=include_whitespace, include_comments=include_comments))
+    """Tokenize ``sql`` into a list of :class:`Token` objects.
+
+    Results for the default mode are memoized process-wide: the translator,
+    the statement classifier, and the MiniDB parser repeatedly tokenize the
+    same statements when a suite is replayed across hosts.
+    """
+    if (
+        include_whitespace
+        or include_comments
+        or len(sql) > _TOKEN_CACHE_MAX_SQL
+        or not perf_cache.caching_enabled()
+    ):
+        return list(iter_tokens(sql, include_whitespace=include_whitespace, include_comments=include_comments))
+    cached = _TOKEN_CACHE.get(sql)
+    if cached is None:
+        cached = tuple(iter_tokens(sql))
+        _TOKEN_CACHE.put(sql, cached)
+    return list(cached)
 
 
 def strip_comments(sql: str) -> str:
