@@ -4,19 +4,48 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 tier2-bench bench bench-compare
+.PHONY: tier1 tier2-bench bench bench-compare bench-baseline lint
 
-## tier1: the correctness gate (must stay green)
-tier1:
+## lint: fast static checks — byte-compile everything, plus pyflakes when installed
+lint:
+	$(PYTHON) -m compileall -q src tests examples scripts benchmarks
+	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
+		$(PYTHON) -m pyflakes src tests examples scripts; \
+	else \
+		echo "pyflakes not installed; skipped"; \
+	fi
+
+## tier1: the correctness gate (must stay green) — lint, tests, and a perf
+## regression check against the local pipeline baseline (>20% fails).  The
+## benchmark reports are gitignored: on a fresh checkout run 'make tier2-bench'
+## then 'make bench-baseline' once to arm the perf gate.
+tier1: lint
 	$(PYTHON) -m pytest -x -q
+	@if [ -f benchmarks/BENCH_baseline.json ] && [ -f benchmarks/BENCH_pipeline.json ]; then \
+		$(PYTHON) scripts/bench_compare.py benchmarks/BENCH_baseline.json benchmarks/BENCH_pipeline.json; \
+	else \
+		echo "perf gate unarmed: run 'make tier2-bench' then 'make bench-baseline' once"; \
+	fi
+
+## bench-baseline: freeze the current pipeline report as the local baseline
+bench-baseline:
+	@if [ -f benchmarks/BENCH_pipeline.json ]; then \
+		cp benchmarks/BENCH_pipeline.json benchmarks/BENCH_baseline.json; \
+		echo "baseline frozen from benchmarks/BENCH_pipeline.json"; \
+	else \
+		echo "no benchmarks/BENCH_pipeline.json yet; run 'make tier2-bench' first"; \
+		exit 1; \
+	fi
 
 ## tier2-bench: pipeline benchmark smoke (emits benchmarks/BENCH_pipeline.json)
 tier2-bench:
 	$(PYTHON) -m pytest benchmarks/bench_pipeline.py -q
 
-## bench: the full benchmark campaign (tables, figures, pipeline)
+## bench: the full benchmark campaign (tables, figures, pipeline).  The files
+## are globbed explicitly because pytest's default discovery pattern
+## (test_*.py) would collect nothing from bench_*.py
 bench:
-	$(PYTHON) -m pytest benchmarks -q
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q
 
 ## bench-compare: diff the current pipeline report against a saved baseline
 ## usage: make bench-compare BASELINE=benchmarks/BENCH_baseline.json

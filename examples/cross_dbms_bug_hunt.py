@@ -13,7 +13,7 @@ system's own suite misses.  It
 Run with: ``python examples/cross_dbms_bug_hunt.py``  (takes ~10-30 s)
 """
 
-from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters import create_adapter
 from repro.core.reducer import make_crash_predicate, reduce_statements
 from repro.core.report import format_heatmap
 from repro.core.transplant import run_matrix
@@ -53,7 +53,7 @@ def main() -> None:
         "SELECT count(*) FROM a",
         "UPDATE a SET b = b + 10",
     ]
-    reduced = reduce_statements(statements, make_crash_predicate(lambda: MiniDBAdapter("duckdb")))
+    reduced = reduce_statements(statements, make_crash_predicate(lambda: create_adapter("duckdb")))
     print(f"  {len(statements)} statements reduced to {len(reduced)}:")
     for statement in reduced:
         print(f"    {statement};")

@@ -31,8 +31,10 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as workdir:
         print(f"Writing a PostgreSQL-format corpus to {workdir} ...")
         write_corpus(workdir, "postgres", file_count=6, seed=3)
-        suite = load_suite(workdir, "postgres", name="postgres")
-    print(f"Loaded {len(suite.files)} files with {suite.total_sql_records} SQL test cases\n")
+        # suite_format omitted: the format registry sniffs each file
+        # (extension + content) via repro.formats.detect_format
+        suite = load_suite(workdir, name="postgres")
+    print(f"Loaded {len(suite.files)} files with {suite.total_sql_records} SQL test cases (format auto-detected)\n")
 
     # -- RQ2: what does the suite contain? -------------------------------------
     distribution = statement_type_distribution(suite, top=10)

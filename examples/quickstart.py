@@ -2,17 +2,19 @@
 
 This walks through the core SQuaLity workflow in ~40 lines:
 
-1. parse a sqllogictest file into the unified record format,
+1. auto-detect the test format and parse the file into the unified record
+   format (the format registry, ``repro.formats``),
 2. execute it on the real SQLite engine and on the PostgreSQL / DuckDB / MySQL
-   dialect emulations through the unified runner,
+   dialect emulations through the unified runner, leasing each host's adapter
+   from an ``AdapterPool`` (the adapter registry + lifecycle),
 3. inspect which records passed, failed, or were skipped on each host.
 
 Run with: ``python examples/quickstart.py``
 """
 
-from repro.adapters.registry import create_adapter
+from repro.adapters import AdapterPool
 from repro.core.runner import TestRunner
-from repro.core.suite import parse_test_text
+from repro.formats import detect_format, parse_test_text
 
 SLT_TEST_FILE = """\
 statement ok
@@ -43,19 +45,20 @@ SELECT 62 DIV 2
 
 
 def main() -> None:
-    test_file = parse_test_text(SLT_TEST_FILE, "slt", path="quickstart.test")
+    detected = detect_format(text=SLT_TEST_FILE)
+    print(f"Detected format: {detected.name} ({detected.description})")
+    test_file = parse_test_text(SLT_TEST_FILE, path="quickstart.test")
     print(f"Parsed {len(test_file.records)} records from {test_file.path}\n")
 
-    for host in ("sqlite", "postgres", "duckdb", "mysql"):
-        adapter = create_adapter(host)
-        adapter.connect()
-        runner = TestRunner(adapter, host_name=host)
-        result = runner.run_file(test_file)
-        print(f"{host:10s}  pass={result.passed}  fail={result.failed}  skip={result.skipped}")
-        for record_result in result.failures():
-            print(f"            FAILED: {record_result.sql!r}")
-            print(f"                    {record_result.reason}")
-        adapter.close()
+    with AdapterPool() as pool:
+        for host in ("sqlite", "postgres", "duckdb", "mysql"):
+            with pool.lease(host) as adapter:
+                runner = TestRunner(adapter, host_name=host)
+                result = runner.run_file(test_file)
+            print(f"{host:10s}  pass={result.passed}  fail={result.failed}  skip={result.skipped}")
+            for record_result in result.failures():
+                print(f"            FAILED: {record_result.sql!r}")
+                print(f"                    {record_result.reason}")
 
     print(
         "\nThe division query fails on DuckDB and MySQL because their '/' operator performs\n"

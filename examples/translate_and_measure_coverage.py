@@ -12,6 +12,7 @@ This example exercises two of the paper's "implications" (Section 9):
 Run with: ``python examples/translate_and_measure_coverage.py``
 """
 
+from repro.adapters import AdapterPool
 from repro.core.coverage import combine_reports, measure_coverage
 from repro.core.report import format_percentage, format_table
 from repro.core.transplant import run_transplant
@@ -25,8 +26,9 @@ def main() -> None:
 
     # -- translation ablation ----------------------------------------------------
     print("Running the SLT corpus on DuckDB, with and without dialect translation...")
-    plain = run_transplant(slt, "duckdb")
-    translated = run_transplant(slt, "duckdb", translate_dialect=True)
+    with AdapterPool() as pool:  # both runs lease the same live DuckDB adapter
+        plain = run_transplant(slt, "duckdb", pool=pool)
+        translated = run_transplant(slt, "duckdb", translate_dialect=True, pool=pool)
     print(
         format_table(
             ["Mode", "Passed", "Failed", "Success rate"],

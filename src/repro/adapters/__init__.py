@@ -13,12 +13,25 @@ Four adapters are provided:
 * ``sqlite-mini``, ``postgres``, ``duckdb``, ``mysql`` — MiniDB sessions
   configured with the corresponding dialect profile (the substitution for the
   real client/server systems; see DESIGN.md).
+
+Adapters resolve through the registry (:func:`create_adapter` /
+:func:`register_adapter`), follow an explicit lifecycle
+(``setup``/``reset``/``teardown``, context-manager supported), and are reused
+across runs via :class:`AdapterPool` (see docs/ARCHITECTURE.md).
 """
 
 from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
 from repro.adapters.minidb_adapter import MiniDBAdapter
 from repro.adapters.sqlite_adapter import SQLite3Adapter
-from repro.adapters.registry import available_adapters, create_adapter, register_adapter
+from repro.adapters.registry import (
+    AdapterEntry,
+    adapter_entries,
+    available_adapters,
+    create_adapter,
+    get_adapter_entry,
+    register_adapter,
+)
+from repro.adapters.pool import AdapterPool
 from repro.adapters.faults import FaultReport, known_fault_signatures
 
 __all__ = [
@@ -27,8 +40,12 @@ __all__ = [
     "ExecutionStatus",
     "MiniDBAdapter",
     "SQLite3Adapter",
+    "AdapterEntry",
+    "AdapterPool",
+    "adapter_entries",
     "available_adapters",
     "create_adapter",
+    "get_adapter_entry",
     "register_adapter",
     "FaultReport",
     "known_fault_signatures",

@@ -56,7 +56,16 @@ class ExecutionOutcome:
 
 
 class DBMSAdapter(ABC):
-    """Common interface over every DBMS SQuaLity can execute tests on."""
+    """Common interface over every DBMS SQuaLity can execute tests on.
+
+    The lifecycle is explicit: :meth:`setup` opens the connection,
+    :meth:`reset` restores a pristine database between test files (and between
+    pooled reuses — see :class:`~repro.adapters.pool.AdapterPool`), and
+    :meth:`teardown` releases everything.  ``connect``/``close`` remain the
+    abstract primitives subclasses implement; ``setup``/``teardown`` are the
+    lifecycle entry points callers (and the context-manager protocol) use, so
+    an adapter can hook them without touching the connection primitives.
+    """
 
     #: short machine name, e.g. ``"sqlite"``
     name: str = "abstract"
@@ -78,6 +87,16 @@ class DBMSAdapter(ABC):
     @abstractmethod
     def close(self) -> None:
         """Tear down the connection."""
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Bring the adapter to a usable state (default: :meth:`connect`)."""
+        self.connect()
+
+    def teardown(self) -> None:
+        """Release every resource (default: :meth:`close`)."""
+        self.close()
 
     # -- conveniences shared by all adapters ---------------------------------------
 
@@ -104,8 +123,8 @@ class DBMSAdapter(ABC):
         return outcomes
 
     def __enter__(self) -> "DBMSAdapter":
-        self.connect()
+        self.setup()
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
-        self.close()
+        self.teardown()

@@ -1,0 +1,176 @@
+"""``AdapterPool`` — reuse live adapters instead of rebuilding them per run.
+
+Building an adapter is cheap for MiniDB but not free (dialect profile, fault
+tables, function registry, expression evaluator), and the transplant pipeline
+used to rebuild one per ``run_transplant`` call — for a ``run_matrix``
+campaign that means suites × hosts rebuilds of the same four adapters.  The
+pool keys idle adapters by ``(registry name, constructor kwargs)`` and hands
+back a **reset** live instance on a hit, so a campaign touches each adapter
+configuration exactly once.
+
+Reset-on-acquire is the pool's state-leak guarantee: a leased adapter always
+starts from a pristine database, whatever the previous lease did (committed
+tables, dangling transactions, settings, even an emulated crash —
+``MiniDBAdapter.reset`` reconnects a crashed session).  The only state that
+survives a reuse is the session RNG, the same caveat the sharded executor
+documents; the generated corpora never invoke nondeterministic SQL.
+
+The pool is thread-safe: concurrent ``acquire`` calls receive distinct
+instances (a new one is built when no idle adapter of that key is available).
+Worker processes of the sharded executor each hold their own module-level
+pool (see :func:`repro.core.parallel.worker_adapter_pool`), which is what
+turns "one adapter per shard" into "one adapter per worker per campaign".
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.adapters.base import DBMSAdapter
+from repro.adapters.registry import create_adapter, get_adapter_entry
+from repro.errors import AdapterNotFoundError
+
+#: key identifying one adapter configuration
+PoolKey = tuple[str, tuple[tuple[str, object], ...]]
+
+
+def pool_key(name: str, kwargs: dict) -> PoolKey:
+    """Canonical pool key: aliases collapse onto their registry entry, so
+    ``acquire("postgres")`` and ``acquire("postgresql")`` share one adapter."""
+    try:
+        canonical = get_adapter_entry(name).name
+    except AdapterNotFoundError:
+        canonical = name.lower()  # acquire() will raise when it tries to build
+    return (canonical, tuple(sorted(kwargs.items())))
+
+
+class AdapterPool:
+    """A keyed pool of live, reusable DBMS adapters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle: dict[PoolKey, list[DBMSAdapter]] = {}
+        self._leased: dict[int, tuple[PoolKey, DBMSAdapter]] = {}
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+
+    # -- core protocol -----------------------------------------------------------------
+
+    def acquire(self, name: str, **kwargs) -> DBMSAdapter:
+        """A live adapter for ``name``: a reset idle one, or a fresh setup.
+
+        The returned adapter is connected and pristine; hand it back with
+        :meth:`release` (or use :meth:`lease`).
+        """
+        key = pool_key(name, kwargs)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("AdapterPool is closed")
+            idle = self._idle.get(key)
+            adapter = idle.pop() if idle else None
+        if adapter is not None:
+            try:
+                adapter.reset()
+            except Exception:
+                # a reset failure must not leak the popped adapter (it is
+                # neither idle nor leased at this point); the reset error is
+                # the one that explains the failure, so a teardown error on
+                # top of it is suppressed
+                try:
+                    adapter.teardown()
+                except Exception:
+                    pass
+                raise
+            with self._lock:
+                self.reused += 1
+                self._leased[id(adapter)] = (key, adapter)
+            return adapter
+        adapter = create_adapter(name, **kwargs)
+        adapter.setup()
+        with self._lock:
+            self.created += 1
+            self._leased[id(adapter)] = (key, adapter)
+        return adapter
+
+    def release(self, adapter: DBMSAdapter) -> None:
+        """Return a leased adapter to the pool for reuse."""
+        with self._lock:
+            entry = self._leased.pop(id(adapter), None)
+            if entry is None or self._closed:
+                torn_down = True
+            else:
+                self._idle.setdefault(entry[0], []).append(adapter)
+                torn_down = False
+        if torn_down:
+            adapter.teardown()
+
+    def discard(self, adapter: DBMSAdapter) -> None:
+        """Tear down a leased adapter instead of returning it (e.g. after an
+        unrecoverable failure)."""
+        with self._lock:
+            self._leased.pop(id(adapter), None)
+        adapter.teardown()
+
+    @contextmanager
+    def lease(self, name: str, **kwargs) -> Iterator[DBMSAdapter]:
+        """``with pool.lease("duckdb") as adapter: ...`` — acquire + release."""
+        adapter = self.acquire(name, **kwargs)
+        try:
+            yield adapter
+        finally:
+            self.release(adapter)
+
+    # -- lifecycle and introspection ---------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down every idle adapter; leased ones are torn down on release.
+
+        Best-effort, never raises: close() runs from ``finally`` blocks
+        (``run_matrix``, ``ExperimentContext.close``) where a teardown error
+        would mask the in-flight failure that actually matters.  Per-adapter
+        isolation means one bad teardown (e.g. a thread-affine sqlite3
+        connection closed from another thread) cannot leak the rest; anything
+        that refuses to tear down is left to garbage collection.
+        """
+        with self._lock:
+            self._closed = True
+            idle = [adapter for adapters in self._idle.values() for adapter in adapters]
+            self._idle.clear()
+        for adapter in idle:
+            try:
+                adapter.teardown()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "AdapterPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(adapters) for adapters in self._idle.values())
+
+    @property
+    def leased_count(self) -> int:
+        with self._lock:
+            return len(self._leased)
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters: builds avoided = ``reused``."""
+        with self._lock:
+            return {
+                "created": self.created,
+                "reused": self.reused,
+                "idle": sum(len(adapters) for adapters in self._idle.values()),
+                "leased": len(self._leased),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return f"<AdapterPool created={stats['created']} reused={stats['reused']} idle={stats['idle']} leased={stats['leased']}>"

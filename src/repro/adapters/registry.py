@@ -4,11 +4,24 @@
 ``"sqlite-mini"``, ``"postgres"``, ``"duckdb"``, and ``"mysql"`` return MiniDB
 emulations with the corresponding dialect profile.  New adapters (the paper's
 "Supporting a new DBMS" scenario) register themselves with
-:func:`register_adapter`.
+:func:`register_adapter`, either the factory form::
+
+    register_adapter("oracle", lambda **kwargs: OracleAdapter(**kwargs))
+
+or the decorator form, which registers the class constructor directly::
+
+    @register_adapter("oracle", aliases=("ora",), description="Oracle via oracledb")
+    class OracleAdapter(DBMSAdapter):
+        ...
+
+The registry is symmetric with :mod:`repro.formats`: it is the single place
+the execution core, the parallel workers, and the experiments CLI resolve
+adapters through, and :class:`~repro.adapters.pool.AdapterPool` draws from it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.adapters.base import DBMSAdapter
@@ -16,32 +29,101 @@ from repro.adapters.minidb_adapter import MiniDBAdapter
 from repro.adapters.sqlite_adapter import SQLite3Adapter
 from repro.errors import AdapterNotFoundError
 
-_FACTORIES: dict[str, Callable[..., DBMSAdapter]] = {}
+
+@dataclass(frozen=True)
+class AdapterEntry:
+    """One registered adapter: its factory plus display metadata."""
+
+    name: str
+    factory: Callable[..., DBMSAdapter]
+    aliases: tuple[str, ...] = ()
+    description: str = ""
 
 
-def register_adapter(name: str, factory: Callable[..., DBMSAdapter]) -> None:
-    """Register ``factory`` under ``name`` (lowercase)."""
-    _FACTORIES[name.lower()] = factory
+#: canonical name -> entry, in registration order
+_ENTRIES: dict[str, AdapterEntry] = {}
+#: every accepted name (canonical + aliases, lowercase) -> canonical name.
+#: The indirection (rather than alias -> entry) means re-registering a name
+#: atomically retargets its aliases too.
+_NAMES: dict[str, str] = {}
 
 
-def available_adapters() -> list[str]:
-    """Names of all registered adapters."""
-    return sorted(_FACTORIES)
+def register_adapter(
+    name: str,
+    factory: Callable[..., DBMSAdapter] | None = None,
+    *,
+    aliases: tuple[str, ...] = (),
+    description: str = "",
+):
+    """Register an adapter factory under ``name`` (plus ``aliases``).
+
+    With ``factory`` given this registers immediately (the seed API).  Without
+    it, returns a decorator for an adapter class or factory function.
+    """
+
+    def _register(target: Callable[..., DBMSAdapter]):
+        entry = AdapterEntry(name=name.lower(), factory=target, aliases=tuple(alias.lower() for alias in aliases), description=description)
+        _ENTRIES[entry.name] = entry
+        _NAMES[entry.name] = entry.name
+        for alias in entry.aliases:
+            _NAMES[alias] = entry.name
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def available_adapters(include_aliases: bool = True) -> list[str]:
+    """Names of all registered adapters (aliases included by default)."""
+    if include_aliases:
+        return sorted(_NAMES)
+    return sorted(_ENTRIES)
+
+
+def adapter_entries() -> list[AdapterEntry]:
+    """The registered entries (canonical only, registration order)."""
+    return list(_ENTRIES.values())
+
+
+def get_adapter_entry(name: str) -> AdapterEntry:
+    """The registry entry for ``name`` (canonical or alias, case-insensitive)."""
+    try:
+        return _ENTRIES[_NAMES[name.lower()]]
+    except KeyError:
+        raise AdapterNotFoundError(f"no adapter named {name!r}; available: {available_adapters()}") from None
 
 
 def create_adapter(name: str, **kwargs) -> DBMSAdapter:
     """Instantiate (but do not connect) the adapter registered under ``name``."""
-    try:
-        factory = _FACTORIES[name.lower()]
-    except KeyError:
-        raise AdapterNotFoundError(f"no adapter named {name!r}; available: {available_adapters()}") from None
-    return factory(**kwargs)
+    return get_adapter_entry(name).factory(**kwargs)
 
 
-register_adapter("sqlite", lambda **kwargs: SQLite3Adapter(**kwargs))
-register_adapter("sqlite3", lambda **kwargs: SQLite3Adapter(**kwargs))
-register_adapter("sqlite-mini", lambda **kwargs: MiniDBAdapter("sqlite", **kwargs))
-register_adapter("postgres", lambda **kwargs: MiniDBAdapter("postgres", **kwargs))
-register_adapter("postgresql", lambda **kwargs: MiniDBAdapter("postgres", **kwargs))
-register_adapter("duckdb", lambda **kwargs: MiniDBAdapter("duckdb", **kwargs))
-register_adapter("mysql", lambda **kwargs: MiniDBAdapter("mysql", **kwargs))
+register_adapter(
+    "sqlite",
+    lambda **kwargs: SQLite3Adapter(**kwargs),
+    aliases=("sqlite3",),
+    description="real sqlite3 engine (in-memory)",
+)
+register_adapter(
+    "sqlite-mini",
+    lambda **kwargs: MiniDBAdapter("sqlite", **kwargs),
+    description="MiniDB emulation, SQLite dialect",
+)
+register_adapter(
+    "postgres",
+    lambda **kwargs: MiniDBAdapter("postgres", **kwargs),
+    aliases=("postgresql",),
+    description="MiniDB emulation, PostgreSQL dialect",
+)
+register_adapter(
+    "duckdb",
+    lambda **kwargs: MiniDBAdapter("duckdb", **kwargs),
+    description="MiniDB emulation, DuckDB dialect",
+)
+register_adapter(
+    "mysql",
+    lambda **kwargs: MiniDBAdapter("mysql", **kwargs),
+    aliases=("mariadb",),
+    description="MiniDB emulation, MySQL dialect",
+)

@@ -1,15 +1,18 @@
-"""SQuaLity core: unified test-case representation, parsers, and runner.
+"""SQuaLity core: unified test-case representation and runner.
 
 This is the paper's primary contribution: test cases from the SQLite (SLT),
 PostgreSQL, DuckDB, and MySQL test suites are parsed into a common internal
 representation (:mod:`repro.core.records`), and a unified runner
 (:mod:`repro.core.runner`) executes them on any registered DBMS adapter,
-validating results statement-by-statement.
+validating results statement-by-statement.  The native-format parsers live in
+the registry-driven :mod:`repro.formats` subsystem (the ``parser_*`` modules
+here are import shims).
 
 High-level entry points:
 
 * :func:`repro.core.suite.load_suite` / :func:`repro.core.suite.parse_test_file`
-  — turn native-format test files into the unified IR,
+  — turn native-format test files into the unified IR (auto-detecting the
+  format via :func:`repro.formats.detect_format` when none is named),
 * :class:`repro.core.runner.TestRunner` — execute a test file / suite on an
   adapter,
 * :func:`repro.core.transplant.run_transplant` — the donor-on-host execution

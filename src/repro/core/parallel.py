@@ -22,6 +22,14 @@ threads otherwise, and *any* failure to bootstrap or finish the process pool
 (pickling errors, a sandbox without ``fork``, a broken pool) degrades to the
 threaded pool rather than failing the run.
 
+Adapters inside workers come from a per-process :class:`AdapterPool`
+(:func:`worker_adapter_pool`), not from bare registry calls: within one worker
+process, consecutive shards — and, when a campaign shares a persistent
+:class:`WorkerPool` across its transplants (see
+:func:`repro.core.transplant.run_matrix`) — consecutive *suites* reuse the
+same live adapter instead of rebuilding it.  Reset-on-acquire keeps every
+shard starting from a pristine database.
+
 One determinism caveat: a MiniDB session's random() state persists across
 files in a serial run but is re-seeded in each worker's fresh adapter.  The
 generated corpora never invoke nondeterministic SQL functions, so shard merges
@@ -32,16 +40,74 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.adapters.base import DBMSAdapter
+from repro.adapters.pool import AdapterPool
 from repro.adapters.registry import available_adapters, create_adapter
 from repro.core.records import TestFile, TestSuite
-from repro.errors import AdapterNotFoundError
+from repro.errors import AdapterNotFoundError, ShardExecutionError
 from repro.core.runner import FileResult, SuiteResult, TestRunner
 from repro.perf import cache as perf_cache
+
+#: exception types that signal worker-pool *infrastructure* failure (rather
+#: than a genuine error inside a shard); both trigger thread degradation
+_POOL_INFRA_ERRORS = (BrokenProcessPool, pickle.PicklingError, NotImplementedError, ImportError, OSError, AdapterNotFoundError)
+
+#: per-worker adapter pools, keyed by thread: each worker — a process-pool
+#: worker's main thread, or one thread of the threaded executor — keeps its
+#: own pool, so adapters never migrate between threads (sqlite3 connections
+#: are thread-affine) while still being reused shard-to-shard and, when the
+#: executor persists across a campaign (see :class:`WorkerPool`),
+#: suite-to-suite
+_WORKER_POOL_LOCAL = threading.local()
+#: (owning thread, pool) pairs for every worker pool created in this process,
+#: so dead executor threads' pools can be torn down deterministically instead
+#: of waiting for garbage collection
+_WORKER_POOL_REGISTRY: list[tuple[threading.Thread, AdapterPool]] = []
+_WORKER_POOL_REGISTRY_LOCK = threading.Lock()
+
+
+def worker_adapter_pool() -> AdapterPool:
+    """The calling worker thread's shard-execution adapter pool."""
+    pool = getattr(_WORKER_POOL_LOCAL, "pool", None)
+    if pool is None:
+        pool = AdapterPool()
+        _WORKER_POOL_LOCAL.pool = pool
+        with _WORKER_POOL_REGISTRY_LOCK:
+            _WORKER_POOL_REGISTRY.append((threading.current_thread(), pool))
+    return pool
+
+
+def close_dead_worker_adapter_pools() -> None:
+    """Tear down the adapter pools of executor threads that have exited.
+
+    Best effort: thread-affine resources (sqlite3 connections) that refuse a
+    cross-thread close are left to garbage collection.  Pools of still-running
+    threads — e.g. another live campaign's workers — are untouched.
+    """
+    with _WORKER_POOL_REGISTRY_LOCK:
+        dead = [(thread, pool) for thread, pool in _WORKER_POOL_REGISTRY if not thread.is_alive()]
+        _WORKER_POOL_REGISTRY[:] = [entry for entry in _WORKER_POOL_REGISTRY if entry[0].is_alive()]
+    for _thread, pool in dead:
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+def _reset_worker_adapter_pool() -> None:
+    """Drop the calling thread's pool (test hook; idle adapters are torn down)."""
+    pool = getattr(_WORKER_POOL_LOCAL, "pool", None)
+    if pool is not None:
+        pool.close()
+        _WORKER_POOL_LOCAL.pool = None
+        with _WORKER_POOL_REGISTRY_LOCK:
+            _WORKER_POOL_REGISTRY[:] = [entry for entry in _WORKER_POOL_REGISTRY if entry[1] is not pool]
 
 
 @dataclass(frozen=True)
@@ -57,9 +123,8 @@ class RunnerSpec:
     donor_dialect: str | None = None
     max_records_per_file: int | None = None
 
-    def build_runner(self) -> TestRunner:
-        adapter = create_adapter(self.adapter_name, **dict(self.adapter_kwargs))
-        adapter.connect()
+    def make_runner(self, adapter: DBMSAdapter) -> TestRunner:
+        """Wrap an already-live adapter in an equivalent :class:`TestRunner`."""
         return TestRunner(
             adapter,
             host_name=self.host_name,
@@ -69,6 +134,11 @@ class RunnerSpec:
             donor_dialect=self.donor_dialect,
             max_records_per_file=self.max_records_per_file,
         )
+
+    def build_runner(self) -> TestRunner:
+        adapter = create_adapter(self.adapter_name, **dict(self.adapter_kwargs))
+        adapter.setup()
+        return self.make_runner(adapter)
 
 
 @dataclass
@@ -124,20 +194,30 @@ def _run_shard(
     caching: bool = True,
     collect_stats: bool = True,
 ) -> tuple[list[tuple[int, FileResult]], dict]:
-    """Worker entry point: run one chunk of files on a fresh adapter.
+    """Worker entry point: run one chunk of files on a pooled adapter.
 
     ``caching`` mirrors the submitting process's global cache switch into
     process-pool workers (their module state starts fresh); ``collect_stats``
     is disabled for thread workers, whose counters are global and measured
-    once around the whole run instead.
+    once around the whole run instead.  The adapter comes from (and returns
+    to) this process's :func:`worker_adapter_pool`, so a persistent worker
+    serves its next shard — or next suite — on the same live instance.
     """
     perf_cache.set_caching(caching)
     before = perf_cache.cache_stats() if collect_stats else {}
-    runner = spec.build_runner()
+    pool = worker_adapter_pool()
+    adapter = pool.acquire(spec.adapter_name, **dict(spec.adapter_kwargs))
+    runner = spec.make_runner(adapter)
     try:
         results = [(index, runner.run_file(test_file)) for index, test_file in shard]
-    finally:
-        runner.adapter.close()
+    except Exception as error:
+        # an adapter whose shard blew up is not trustworthy: tear it down
+        # instead of re-pooling it, and wrap the error so the submitting
+        # process can tell a genuine in-shard failure from pool
+        # infrastructure breakage (which degrades to threads)
+        pool.discard(adapter)
+        raise ShardExecutionError(f"{type(error).__name__}: {error}") from error
+    pool.release(adapter)
     stats = _stats_delta(before, perf_cache.cache_stats()) if collect_stats else {}
     return results, stats
 
@@ -154,12 +234,64 @@ def _shards(suite: TestSuite, workers: int) -> list[list[tuple[int, TestFile]]]:
     return [shard for shard in (indexed[offset::workers] for offset in range(workers)) if shard]
 
 
-def _run_with_pool(pool_class, suite: TestSuite, spec: RunnerSpec, workers: int, collect_stats: bool):
-    shards = _shards(suite, workers)
-    caching = perf_cache.caching_enabled()
-    with pool_class(max_workers=len(shards)) as pool:
+class WorkerPool:
+    """A persistent worker pool shared across the suites of one campaign.
+
+    ``run_matrix`` creates one of these and threads it through every
+    ``run_transplant``: the executor (and therefore each worker process, and
+    each worker's adapter pool) survives from one suite to the next, which is
+    what makes per-worker adapter reuse span a whole campaign instead of a
+    single sharded run.  A process-pool infrastructure failure permanently
+    degrades the pool to threads — the same recovery the one-shot path uses,
+    made sticky so a campaign does not re-probe a broken fork on every suite.
+    """
+
+    def __init__(self, workers: int, executor: str = "auto"):
+        self.workers = max(1, workers)
+        if executor == "auto":
+            cores = os.cpu_count() or 1
+            executor = "process" if cores > 1 else "thread"
+        self.flavour = executor               # "process" | "thread"
+        self._pool = None
+
+    def _ensure(self):
+        if self._pool is None:
+            pool_class = ProcessPoolExecutor if self.flavour == "process" else ThreadPoolExecutor
+            self._pool = pool_class(max_workers=self.workers)
+        return self._pool
+
+    def degrade_to_threads(self) -> None:
+        self.shutdown()
+        self.flavour = "thread"
+
+    def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool):
+        """Submit every shard and gather ``(indexed_results, stats)`` pairs."""
+        pool = self._ensure()
         futures = [pool.submit(_run_shard, spec, shard, caching, collect_stats) for shard in shards]
-        outcomes = [future.result() for future in futures]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            # thread-flavour workers parked adapters in their per-thread
+            # pools; the threads are gone now, so reclaim those adapters
+            close_dead_worker_adapter_pools()
+
+    close = shutdown
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _run_with_pool(worker_pool: WorkerPool, suite: TestSuite, spec: RunnerSpec, workers: int):
+    collect_stats = worker_pool.flavour == "process"
+    shards = _shards(suite, min(workers, worker_pool.workers))
+    caching = perf_cache.caching_enabled()
+    outcomes = worker_pool.map_shards(spec, shards, caching, collect_stats)
     indexed_results = [item for results, _ in outcomes for item in results]
     worker_stats = perf_cache.merge_stats(*(stats for _, stats in outcomes))
     return _merge(suite, spec, indexed_results), worker_stats
@@ -170,13 +302,16 @@ def run_suite_sharded(
     spec: RunnerSpec,
     workers: int = 1,
     executor: str = "auto",
+    worker_pool: WorkerPool | None = None,
 ) -> ShardedRunReport:
     """Run ``suite`` as per-file shards on a ``workers``-wide pool.
 
     ``executor`` is ``"process"``, ``"thread"``, or ``"auto"`` (processes on
     multi-core machines, threads otherwise).  Process-pool bootstrap failures
     degrade to the threaded pool; ``workers <= 1`` or an empty suite runs
-    serially in-process.
+    serially in-process.  Passing a :class:`WorkerPool` keeps the executor —
+    and each worker's adapter pool — alive across calls (campaign reuse); the
+    caller owns its shutdown.
     """
     if workers <= 1 or len(suite.files) <= 1:
         before = perf_cache.cache_stats()
@@ -184,7 +319,7 @@ def run_suite_sharded(
         try:
             result = runner.run_suite(suite)
         finally:
-            runner.adapter.close()
+            runner.adapter.teardown()
         return ShardedRunReport(
             result=result,
             workers=1,
@@ -192,31 +327,37 @@ def run_suite_sharded(
             cache_stats=_stats_delta(before, perf_cache.cache_stats()),
         )
 
-    if executor == "auto":
-        cores = os.cpu_count() or 1
-        executor = "process" if cores > 1 else "thread"
+    owns_pool = worker_pool is None
+    if worker_pool is None:
+        # a one-shot pool serves exactly this suite: never start more workers
+        # than there are shards (campaign pools stay full-width, they serve
+        # many suites)
+        worker_pool = WorkerPool(min(workers, len(suite.files)), executor)
+    try:
+        if worker_pool.flavour == "process":
+            try:
+                result, worker_stats = _run_with_pool(worker_pool, suite, spec, workers)
+                # worker processes accumulated cache activity in their own
+                # address space; fold it into this process's counters so
+                # cache_stats() reports total pipeline activity
+                perf_cache.absorb_stats(worker_stats)
+                return ShardedRunReport(result=result, workers=workers, executor="process", cache_stats=worker_stats)
+            except _POOL_INFRA_ERRORS:
+                # pool infrastructure failures (no fork support, sandboxed
+                # semaphores, unpicklable payloads, killed workers) degrade to
+                # threads; genuine errors raised inside a shard propagate
+                worker_pool.degrade_to_threads()
 
-    if executor == "process":
-        try:
-            result, worker_stats = _run_with_pool(ProcessPoolExecutor, suite, spec, workers, collect_stats=True)
-            # worker processes accumulated cache activity in their own address
-            # space; fold it into this process's counters so cache_stats()
-            # reports total pipeline activity
-            perf_cache.absorb_stats(worker_stats)
-            return ShardedRunReport(result=result, workers=workers, executor="process", cache_stats=worker_stats)
-        except (BrokenProcessPool, pickle.PicklingError, NotImplementedError, ImportError, OSError, AdapterNotFoundError):
-            # pool infrastructure failures (no fork support, sandboxed
-            # semaphores, unpicklable payloads, killed workers) degrade to
-            # threads; genuine errors raised inside a shard propagate
-            executor = "thread"
-
-    # thread workers share this process's caches: per-shard deltas would
-    # overlap, so stats are measured once around the whole run instead
-    before = perf_cache.cache_stats()
-    result, _ = _run_with_pool(ThreadPoolExecutor, suite, spec, workers, collect_stats=False)
-    return ShardedRunReport(
-        result=result,
-        workers=workers,
-        executor="thread",
-        cache_stats=_stats_delta(before, perf_cache.cache_stats()),
-    )
+        # thread workers share this process's caches: per-shard deltas would
+        # overlap, so stats are measured once around the whole run instead
+        before = perf_cache.cache_stats()
+        result, _ = _run_with_pool(worker_pool, suite, spec, workers)
+        return ShardedRunReport(
+            result=result,
+            workers=workers,
+            executor="thread",
+            cache_stats=_stats_delta(before, perf_cache.cache_stats()),
+        )
+    finally:
+        if owns_pool:
+            worker_pool.shutdown()

@@ -1,107 +1,25 @@
-"""Parser for DuckDB's test format (an extended sqllogictest dialect).
+"""Legacy import shim — the DuckDB parser now lives in :mod:`repro.formats.duckdb`.
 
-DuckDB specifies its tests in the SLT format with additional runner commands
-(``require``, ``load``, ``loop``/``endloop``, ``mode``, ``restart``,
-``statement error`` with expected message) and *row-wise* expected results:
-each expected-result line is one row with values separated by tabs (Listing 3).
+Kept so seed-era imports keep working; new code should go through the format
+registry (:func:`repro.formats.get_format`).
 """
 
 from __future__ import annotations
 
-import re
-
-from repro.core.parser_slt import _parse_block, _split_blocks
-from repro.core.records import (
-    ControlRecord,
-    QueryRecord,
-    Record,
-    ResultFormat,
-    StatementRecord,
-    TestFile,
+from repro.formats.duckdb import (
+    _LOOP_PATTERN,
+    DuckDBFormat,
+    _expand_loops,
+    _substitute,
+    parse_duckdb_file,
+    parse_duckdb_text,
 )
 
-_LOOP_PATTERN = re.compile(r"^loop\s+(\w+)\s+(-?\d+)\s+(-?\d+)$", re.IGNORECASE)
-
-
-def parse_duckdb_text(text: str, path: str = "<memory>", suite: str = "duckdb") -> TestFile:
-    """Parse DuckDB-test-format ``text`` into a :class:`TestFile`.
-
-    The base SLT parsing is reused; afterwards, query expectations are
-    re-interpreted row-wise (splitting each expected line on tabs), and
-    ``loop``/``endloop`` blocks are expanded by substituting the loop variable
-    into the templated records (the paper notes DuckDB's runner provides
-    execution-flow control beyond plain SLT).
-    """
-    test_file = TestFile(path=path, suite=suite, source_lines=len(text.splitlines()))
-    raw_records: list[Record] = []
-    for start_line, lines in _split_blocks(text):
-        raw_records.extend(_parse_block(lines, start_line, path))
-
-    for record in raw_records:
-        if isinstance(record, QueryRecord) and record.result_format is ResultFormat.VALUE_WISE:
-            rows = [line.split("\t") if "\t" in line else line.split() for line in record.expected_values]
-            if record.expected_values and all(len(row) == max(len(record.type_string), 1) for row in rows):
-                record.result_format = ResultFormat.ROW_WISE
-                record.expected_rows = rows
-                record.expected_values = []
-
-    test_file.records = _expand_loops(raw_records)
-    return test_file
-
-
-def parse_duckdb_file(path: str, suite: str = "duckdb") -> TestFile:
-    """Parse the DuckDB-format test file at ``path``."""
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        return parse_duckdb_text(handle.read(), path=path, suite=suite)
-
-
-def _expand_loops(records: list[Record]) -> list[Record]:
-    """Expand ``loop var start end`` ... ``endloop`` blocks by substitution."""
-    expanded: list[Record] = []
-    index = 0
-    while index < len(records):
-        record = records[index]
-        if isinstance(record, ControlRecord) and record.command == "loop":
-            match = _LOOP_PATTERN.match(record.raw.strip()) if record.raw else None
-            if match is None and len(record.arguments) == 3:
-                variable, start_text, end_text = record.arguments
-            elif match is not None:
-                variable, start_text, end_text = match.group(1), match.group(2), match.group(3)
-            else:
-                expanded.append(record)
-                index += 1
-                continue
-            # find the matching endloop (loops do not nest in practice)
-            body: list[Record] = []
-            cursor = index + 1
-            while cursor < len(records):
-                candidate = records[cursor]
-                if isinstance(candidate, ControlRecord) and candidate.command == "endloop":
-                    break
-                body.append(candidate)
-                cursor += 1
-            expanded.append(record)  # keep the control record for RQ1 statistics
-            for value in range(int(start_text), int(end_text)):
-                for template in body:
-                    expanded.append(_substitute(template, variable, value))
-            if cursor < len(records):
-                expanded.append(records[cursor])  # the endloop record
-            index = cursor + 1
-            continue
-        expanded.append(record)
-        index += 1
-    return expanded
-
-
-def _substitute(record: Record, variable: str, value: int) -> Record:
-    """Return a copy of ``record`` with ``${var}`` occurrences substituted."""
-    import copy
-
-    clone = copy.deepcopy(record)
-    needle = "${" + variable + "}"
-    if isinstance(clone, (StatementRecord, QueryRecord)):
-        clone.sql = clone.sql.replace(needle, str(value))
-    if isinstance(clone, QueryRecord):
-        clone.expected_values = [entry.replace(needle, str(value)) for entry in clone.expected_values]
-        clone.expected_rows = [[cell.replace(needle, str(value)) for cell in row] for row in clone.expected_rows]
-    return clone
+__all__ = [
+    "parse_duckdb_text",
+    "parse_duckdb_file",
+    "DuckDBFormat",
+    "_expand_loops",
+    "_substitute",
+    "_LOOP_PATTERN",
+]

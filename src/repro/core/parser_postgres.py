@@ -1,255 +1,37 @@
-"""Parser for PostgreSQL regression tests (``.sql`` scripts + ``.out`` files).
+"""Legacy import shim — the PostgreSQL parser now lives in :mod:`repro.formats.postgres`.
 
-A PostgreSQL regression test is a psql script: SQL statements interleaved with
-psql meta-commands (lines starting with a backslash) and comments.  The
-expected output is a separate ``.out`` file containing a transcript — every
-statement echoed, followed by its result rendered in psql's table format::
-
-    SELECT a, b FROM t1 WHERE c > a;
-     a | b
-    ---+---
-     2 | 4
-     3 | 1
-    (2 rows)
-
-The native runner compares the *whole file* transcript.  SQuaLity instead
-extracts a per-statement expectation (the paper's statement-by-statement
-methodology): the ``.out`` transcript is aligned with the statements of the
-``.sql`` file, and each statement's result block is converted into row-wise
-expected values.  When no ``.out`` file is available the statements are
-imported with "expect success" semantics only.
+Kept so seed-era imports keep working; new code should go through the format
+registry (:func:`repro.formats.get_format`).
 """
 
 from __future__ import annotations
 
-import os
-import re
-
-from repro.core.records import (
-    ControlRecord,
-    QueryRecord,
-    Record,
-    ResultFormat,
-    SortMode,
-    StatementRecord,
-    TestFile,
+from repro.formats.postgres import (
+    _ERROR_LINE,
+    _ROW_COUNT,
+    PostgresFormat,
+    _Expectation,
+    _Fragment,
+    _interpret_block,
+    _looks_like_result_line,
+    _looks_like_statement_echo,
+    _parse_out_file,
+    _split_script,
+    parse_postgres_file,
+    parse_postgres_text,
 )
-from repro.sqlparser.statements import classify_statement, split_statements
 
-_ROW_COUNT = re.compile(r"^\((\d+) rows?\)$")
-_ERROR_LINE = re.compile(r"^(ERROR|FATAL|PANIC):")
-
-
-def parse_postgres_text(
-    sql_text: str,
-    out_text: str | None = None,
-    path: str = "<memory>",
-    suite: str = "postgres",
-) -> TestFile:
-    """Parse a PostgreSQL regression ``.sql`` script (plus optional ``.out``)."""
-    test_file = TestFile(path=path, suite=suite, source_lines=len(sql_text.splitlines()))
-    expectations = _parse_out_file(out_text) if out_text else {}
-
-    statement_index = 0
-    for fragment in _split_script(sql_text):
-        line_number = fragment.line
-        text = fragment.text.strip()
-        if not text:
-            continue
-        if text.startswith("\\"):
-            words = text[1:].split()
-            test_file.records.append(
-                ControlRecord(line=line_number, raw=text, command="psql:" + (words[0] if words else ""), arguments=words[1:])
-            )
-            continue
-        info = classify_statement(text)
-        expectation = expectations.get(statement_index)
-        statement_index += 1
-        if info.is_query and expectation is not None and expectation.rows is not None:
-            record = QueryRecord(
-                line=line_number,
-                raw=text,
-                sql=text,
-                type_string="T" * (len(expectation.columns) or 1),
-                sort_mode=SortMode.NOSORT,
-                result_format=ResultFormat.ROW_WISE,
-                expected_rows=expectation.rows,
-                expected_column_names=expectation.columns,
-            )
-            test_file.records.append(record)
-        else:
-            expect_ok = True
-            expected_error = None
-            if expectation is not None and expectation.error is not None:
-                expect_ok = False
-                expected_error = expectation.error
-            test_file.records.append(
-                StatementRecord(line=line_number, raw=text, sql=text, expect_ok=expect_ok, expected_error=expected_error)
-            )
-    return test_file
-
-
-def parse_postgres_file(path: str, suite: str = "postgres") -> TestFile:
-    """Parse the regression test at ``path`` (pairing ``<name>.out`` if present).
-
-    ``path`` may point at the ``.sql`` file; the expected-output file is looked
-    up both next to it and in a sibling ``expected/`` directory, mirroring the
-    PostgreSQL source layout.
-    """
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        sql_text = handle.read()
-    base = os.path.splitext(os.path.basename(path))[0]
-    candidates = [
-        os.path.splitext(path)[0] + ".out",
-        os.path.join(os.path.dirname(path), "..", "expected", base + ".out"),
-        os.path.join(os.path.dirname(path), "expected", base + ".out"),
-    ]
-    out_text = None
-    for candidate in candidates:
-        if os.path.exists(candidate):
-            with open(candidate, "r", encoding="utf-8", errors="replace") as handle:
-                out_text = handle.read()
-            break
-    return parse_postgres_text(sql_text, out_text, path=path, suite=suite)
-
-
-# ---------------------------------------------------------------------------
-# .sql script splitting (keeps line numbers and psql meta-commands)
-# ---------------------------------------------------------------------------
-
-
-class _Fragment:
-    __slots__ = ("text", "line")
-
-    def __init__(self, text: str, line: int):
-        self.text = text
-        self.line = line
-
-
-def _split_script(sql_text: str) -> list[_Fragment]:
-    fragments: list[_Fragment] = []
-    buffer: list[str] = []
-    buffer_start = 1
-    for number, line in enumerate(sql_text.splitlines(), start=1):
-        stripped = line.strip()
-        if stripped.startswith("--") and not buffer:
-            continue
-        if stripped.startswith("\\") and not buffer:
-            fragments.append(_Fragment(stripped, number))
-            continue
-        if not buffer:
-            buffer_start = number
-        buffer.append(line)
-        if stripped.endswith(";"):
-            text = "\n".join(buffer)
-            for statement in split_statements(text):
-                fragments.append(_Fragment(statement, buffer_start))
-            buffer = []
-    if buffer:
-        text = "\n".join(buffer)
-        for statement in split_statements(text):
-            fragments.append(_Fragment(statement, buffer_start))
-    return fragments
-
-
-# ---------------------------------------------------------------------------
-# .out transcript parsing
-# ---------------------------------------------------------------------------
-
-
-class _Expectation:
-    __slots__ = ("columns", "rows", "error")
-
-    def __init__(self, columns: list[str] | None = None, rows: list[list[str]] | None = None, error: str | None = None):
-        self.columns = columns or []
-        self.rows = rows
-        self.error = error
-
-
-def _parse_out_file(out_text: str) -> dict[int, _Expectation]:
-    """Extract per-statement expectations from a psql transcript.
-
-    Statements are echoed verbatim in the transcript; anything between one
-    echoed statement's terminating semicolon and the next echoed statement is
-    that statement's output block.
-    """
-    expectations: dict[int, _Expectation] = {}
-    lines = out_text.splitlines()
-    index = 0
-    statement_index = 0
-    current_statement_open = False
-    block: list[str] = []
-
-    def flush() -> None:
-        nonlocal statement_index, block
-        if not current_statement_open:
-            return
-        expectations[statement_index] = _interpret_block(block)
-        statement_index += 1
-        block = []
-
-    while index < len(lines):
-        line = lines[index]
-        stripped = line.strip()
-        if _looks_like_statement_echo(stripped):
-            flush()
-            current_statement_open = True
-            # multi-line statements: keep consuming echo lines until a semicolon
-            while not stripped.endswith(";") and index + 1 < len(lines):
-                index += 1
-                stripped = lines[index].strip()
-                if _looks_like_result_line(stripped):
-                    index -= 1
-                    break
-        elif stripped.startswith("\\"):
-            pass  # psql meta-command echo: its output belongs to no statement
-        else:
-            block.append(line)
-        index += 1
-    flush()
-    return expectations
-
-
-def _looks_like_statement_echo(line: str) -> bool:
-    if not line or line.startswith("--"):
-        return False
-    from repro.sqlparser.statements import statement_type
-
-    first_word = line.split()[0].upper() if line.split() else ""
-    known_starts = {
-        "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER", "BEGIN", "COMMIT", "ROLLBACK",
-        "SET", "RESET", "SHOW", "EXPLAIN", "COPY", "WITH", "VALUES", "TRUNCATE", "GRANT", "REVOKE",
-        "ANALYZE", "VACUUM", "PREPARE", "EXECUTE", "DECLARE", "FETCH", "START", "SAVEPOINT", "RELEASE",
-    }
-    return first_word in known_starts or statement_type(line) in known_starts
-
-
-def _looks_like_result_line(line: str) -> bool:
-    return bool(_ROW_COUNT.match(line) or _ERROR_LINE.match(line) or set(line) <= set("-+ ") and "-" in line)
-
-
-def _interpret_block(block: list[str]) -> _Expectation:
-    """Turn one psql output block into an expectation."""
-    meaningful = [line for line in block if line.strip()]
-    if not meaningful:
-        return _Expectation(rows=None)
-    first = meaningful[0].strip()
-    if _ERROR_LINE.match(first):
-        return _Expectation(error="\n".join(line.strip() for line in meaningful))
-    # table format: header / ---+--- separator / rows / (N rows)
-    separator_index = None
-    for position, line in enumerate(meaningful):
-        bare = line.strip()
-        if bare and set(bare) <= set("-+") and "-" in bare:
-            separator_index = position
-            break
-    if separator_index is None or separator_index == 0:
-        return _Expectation(rows=None)
-    columns = [name.strip() for name in meaningful[separator_index - 1].split("|")]
-    rows: list[list[str]] = []
-    for line in meaningful[separator_index + 1 :]:
-        bare = line.strip()
-        if _ROW_COUNT.match(bare):
-            break
-        rows.append([cell.strip() for cell in line.split("|")])
-    return _Expectation(columns=columns, rows=rows)
+__all__ = [
+    "parse_postgres_text",
+    "parse_postgres_file",
+    "PostgresFormat",
+    "_split_script",
+    "_parse_out_file",
+    "_interpret_block",
+    "_looks_like_statement_echo",
+    "_looks_like_result_line",
+    "_Expectation",
+    "_Fragment",
+    "_ROW_COUNT",
+    "_ERROR_LINE",
+]

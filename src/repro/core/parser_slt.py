@@ -1,200 +1,44 @@
-"""Parser for the sqllogictest (SLT) format used by SQLite's test suite.
+"""Legacy import shim — the SLT parser now lives in :mod:`repro.formats.slt`.
 
-Format reference: https://www.sqlite.org/sqllogictest/doc/trunk/about.wiki
-
-A test file is a sequence of *records* separated by blank lines.  Each record
-is either::
-
-    statement ok            |  statement error
-    <SQL statement, possibly spanning several lines>
-
-or::
-
-    query <type-string> [sort-mode] [label]
-    <SQL query>
-    ----
-    <expected result, one value per line>
-
-Records may be preceded by ``skipif <dbms>`` / ``onlyif <dbms>`` condition
-lines, and the file may contain ``halt`` and ``hash-threshold <n>`` control
-records.  Large expected results are given in hash form::
-
-    30 values hashing to 3c13dee48d9356ae19af2515e05e6b54
+Kept so seed-era imports (``from repro.core.parser_slt import parse_slt_text``)
+keep working; new code should go through the format registry
+(:func:`repro.formats.get_format` / :func:`repro.formats.parse_test_text`).
 """
 
 from __future__ import annotations
 
-import re
-
-from repro.core.records import (
-    Condition,
-    ControlRecord,
-    QueryRecord,
-    Record,
-    ResultFormat,
-    SortMode,
-    StatementRecord,
-    TestFile,
+from repro.core.records import Record
+from repro.formats.base import SLT_CONTROL_COMMANDS as _CONTROL_COMMANDS
+from repro.formats.registry import get_format
+from repro.formats.slt import (
+    _HASH_RESULT,
+    SLTFormat,
+    parse_slt_file,
+    parse_slt_text,
 )
-from repro.errors import TestFormatError
-
-_HASH_RESULT = re.compile(r"^(\d+)\s+values\s+hashing\s+to\s+([0-9a-f]{32})$")
-_CONTROL_COMMANDS = {"halt", "hash-threshold", "mode", "set", "sleep", "restart", "reconnect", "load", "require", "loop", "endloop", "foreach", "endfor", "unzip", "include"}
 
 
 def _split_blocks(text: str) -> list[tuple[int, list[str]]]:
-    """Split file text into blocks of consecutive non-blank lines.
-
-    Returns ``(first_line_number, lines)`` pairs, 1-based line numbers.
-    Comment-only lines (starting with ``#``) are dropped, but a trailing
-    comment after a directive (``onlyif mysql # DIV for integer division``) is
-    kept for the directive parser to strip.
-    """
-    blocks: list[tuple[int, list[str]]] = []
-    current: list[str] = []
-    start = 0
-    for number, line in enumerate(text.splitlines(), start=1):
-        stripped = line.rstrip("\n")
-        if stripped.strip() == "" :
-            if current:
-                blocks.append((start, current))
-                current = []
-            continue
-        if stripped.lstrip().startswith("#"):
-            continue
-        if not current:
-            start = number
-        current.append(stripped)
-    if current:
-        blocks.append((start, current))
-    return blocks
+    """Split file text into blocks of consecutive non-blank lines."""
+    return list(SLTFormat.iter_blocks(text))
 
 
 def _strip_comment(line: str) -> str:
     """Remove a trailing ``# comment`` from a directive line."""
-    if "#" in line:
-        return line.split("#", 1)[0].rstrip()
-    return line
-
-
-def parse_slt_text(text: str, path: str = "<memory>", suite: str = "slt") -> TestFile:
-    """Parse SLT-format ``text`` into a :class:`TestFile`."""
-    test_file = TestFile(path=path, suite=suite, source_lines=len(text.splitlines()))
-    for start_line, lines in _split_blocks(text):
-        records = _parse_block(lines, start_line, path)
-        test_file.records.extend(records)
-    return test_file
-
-
-def parse_slt_file(path: str, suite: str = "slt") -> TestFile:
-    """Parse the SLT file at ``path``."""
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        return parse_slt_text(handle.read(), path=path, suite=suite)
+    return SLTFormat.strip_comment(line)
 
 
 def _parse_block(lines: list[str], start_line: int, path: str) -> list[Record]:
-    conditions: list[Condition] = []
-    index = 0
-    records: list[Record] = []
+    return get_format("slt").parse_block(lines, start_line, path)
 
-    while index < len(lines):
-        line = _strip_comment(lines[index]).strip()
-        if not line:
-            index += 1
-            continue
-        words = line.split()
-        head = words[0].lower()
 
-        if head in ("skipif", "onlyif") and len(words) >= 2:
-            conditions.append(Condition(kind=head, dbms=words[1].lower()))
-            index += 1
-            continue
-
-        if head == "statement":
-            if len(words) < 2:
-                raise TestFormatError("statement record missing ok/error", path=path, line=start_line + index)
-            expect_ok = words[1].lower() == "ok"
-            sql_lines = lines[index + 1 :]
-            expected_error = None
-            if "----" in [l.strip() for l in sql_lines]:
-                separator = [l.strip() for l in sql_lines].index("----")
-                expected_error = "\n".join(sql_lines[separator + 1 :]).strip() or None
-                sql_lines = sql_lines[:separator]
-            record = StatementRecord(
-                line=start_line + index,
-                raw="\n".join(lines),
-                conditions=list(conditions),
-                sql="\n".join(sql_lines).strip(),
-                expect_ok=expect_ok,
-                expected_error=expected_error,
-            )
-            records.append(record)
-            return records
-
-        if head == "query":
-            type_string = words[1] if len(words) > 1 else ""
-            sort_mode = SortMode.NOSORT
-            label = None
-            for word in words[2:]:
-                lowered = word.lower()
-                if lowered in ("nosort", "rowsort", "valuesort"):
-                    sort_mode = SortMode(lowered)
-                else:
-                    label = word
-            body = lines[index + 1 :]
-            stripped_body = [entry.strip() for entry in body]
-            if "----" in stripped_body:
-                separator = stripped_body.index("----")
-                sql_lines = body[:separator]
-                result_lines = [entry.rstrip() for entry in body[separator + 1 :]]
-            else:
-                sql_lines = body
-                result_lines = []
-            record = QueryRecord(
-                line=start_line + index,
-                raw="\n".join(lines),
-                conditions=list(conditions),
-                sql="\n".join(sql_lines).strip(),
-                type_string=type_string,
-                sort_mode=sort_mode,
-                label=label,
-            )
-            if len(result_lines) == 1 and _HASH_RESULT.match(result_lines[0].strip()):
-                match = _HASH_RESULT.match(result_lines[0].strip())
-                record.result_format = ResultFormat.HASH
-                record.expected_hash_count = int(match.group(1))
-                record.expected_hash = match.group(2)
-            else:
-                record.result_format = ResultFormat.VALUE_WISE
-                record.expected_values = [entry for entry in result_lines if entry != ""]
-            records.append(record)
-            return records
-
-        if head in _CONTROL_COMMANDS:
-            records.append(
-                ControlRecord(
-                    line=start_line + index,
-                    raw=line,
-                    conditions=list(conditions),
-                    command=head,
-                    arguments=words[1:],
-                )
-            )
-            conditions = []
-            index += 1
-            continue
-
-        # Unknown directive: record it as a control record so RQ1's feature
-        # census sees it, rather than silently dropping it.
-        records.append(
-            ControlRecord(
-                line=start_line + index,
-                raw=line,
-                conditions=list(conditions),
-                command=head,
-                arguments=words[1:],
-            )
-        )
-        conditions = []
-        index += 1
-    return records
+__all__ = [
+    "parse_slt_text",
+    "parse_slt_file",
+    "SLTFormat",
+    "_split_blocks",
+    "_strip_comment",
+    "_parse_block",
+    "_CONTROL_COMMANDS",
+    "_HASH_RESULT",
+]

@@ -75,15 +75,17 @@ class FileResult:
     results: list[RecordResult] = field(default_factory=list)
     _outcome_counts: dict = field(default_factory=dict, init=False, repr=False, compare=False)
     _counted: int = field(default=0, init=False, repr=False, compare=False)
-    _counted_list_id: int = field(default=0, init=False, repr=False, compare=False)
+    # strong reference, not id(): CPython reuses ids of dead objects, which
+    # would make a replacement list silently pass for the counted one
+    _counted_list: list | None = field(default=None, init=False, repr=False, compare=False)
 
     def _refresh_counts(self) -> dict:
         results = self.results
-        if self._counted > len(results) or self._counted_list_id != id(results):
+        if self._counted > len(results) or self._counted_list is not results:
             # results was truncated or the list object replaced: recount
             self._outcome_counts = {}
             self._counted = 0
-            self._counted_list_id = id(results)
+            self._counted_list = results
         if self._counted < len(results):
             counts = self._outcome_counts
             for result in results[self._counted :]:
@@ -237,21 +239,23 @@ class TestRunner:
                 crashed = True
         return file_result
 
-    def run_suite(self, suite: TestSuite, workers: int = 1, executor: str = "auto") -> SuiteResult:
+    def run_suite(self, suite: TestSuite, workers: int = 1, executor: str = "auto", worker_pool=None) -> SuiteResult:
         """Execute every file of ``suite``, each from a clean database.
 
         With ``workers > 1`` the suite is split into per-file shards executed
         on a worker pool (see :mod:`repro.core.parallel`); results are merged
         in file order, so the outcome is identical to the serial run.  Falls
         back to serial execution when the adapter cannot be re-created in a
-        worker (no registry entry).
+        worker (no registry entry).  ``worker_pool`` (a
+        :class:`repro.core.parallel.WorkerPool`) lets a campaign share one
+        persistent pool — and its per-worker adapters — across suites.
         """
-        if workers > 1:
+        if workers > 1 and len(suite.files) > 1:
             from repro.core.parallel import runner_spec_for, run_suite_sharded
 
             spec = runner_spec_for(self)
             if spec is not None:
-                return run_suite_sharded(suite, spec, workers=workers, executor=executor).result
+                return run_suite_sharded(suite, spec, workers=workers, executor=executor, worker_pool=worker_pool).result
         suite_result = SuiteResult(suite=suite.name, host=self.host_name)
         for test_file in suite.files:
             suite_result.files.append(self.run_file(test_file))

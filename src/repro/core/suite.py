@@ -1,63 +1,63 @@
-"""Loading native-format test files and suites into the unified IR."""
+"""Loading native-format test files and suites into the unified IR.
+
+This module is a thin facade over :mod:`repro.formats` — the registry-driven
+format subsystem — kept so existing imports (``repro.core.suite.load_suite``)
+stay stable.  Formats are resolved exclusively through the registry; passing
+``suite_format=None`` auto-detects the format per file via
+:func:`repro.formats.detect_format`.
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Callable
 
-from repro.core.parser_duckdb import parse_duckdb_file, parse_duckdb_text
-from repro.core.parser_mysql import parse_mysql_file, parse_mysql_text
-from repro.core.parser_postgres import parse_postgres_file, parse_postgres_text
-from repro.core.parser_slt import parse_slt_file, parse_slt_text
 from repro.core.records import TestFile, TestSuite
-from repro.errors import TestFormatError
-
-#: suite name -> (file parser, text parser, file extensions)
-_FORMATS: dict[str, tuple[Callable[..., TestFile], Callable[..., TestFile], tuple[str, ...]]] = {
-    "slt": (parse_slt_file, parse_slt_text, (".test", ".slt")),
-    "sqlite": (parse_slt_file, parse_slt_text, (".test", ".slt")),
-    "duckdb": (parse_duckdb_file, parse_duckdb_text, (".test", ".test_slow")),
-    "postgres": (parse_postgres_file, parse_postgres_text, (".sql",)),
-    "postgresql": (parse_postgres_file, parse_postgres_text, (".sql",)),
-    "mysql": (parse_mysql_file, parse_mysql_text, (".test",)),
-}
 
 
 def supported_formats() -> list[str]:
-    """Names of the test-suite formats SQuaLity can parse."""
-    return sorted(set(_FORMATS))
+    """Names of the test-suite formats SQuaLity can parse (including aliases)."""
+    from repro.formats import available_formats
+
+    return available_formats(include_aliases=True)
 
 
-def parse_test_file(path: str, suite_format: str) -> TestFile:
-    """Parse the test file at ``path`` using the named native format."""
-    try:
-        file_parser, _, _ = _FORMATS[suite_format.lower()]
-    except KeyError:
-        raise TestFormatError(f"unknown test-suite format: {suite_format!r}; known: {supported_formats()}") from None
-    return file_parser(path)
+def parse_test_file(path: str, suite_format: str | None = None) -> TestFile:
+    """Parse the test file at ``path`` (auto-detecting the format when unnamed)."""
+    from repro.formats import parse_test_file as _parse_test_file
+
+    return _parse_test_file(path, suite_format)
 
 
-def parse_test_text(text: str, suite_format: str, path: str = "<memory>", **kwargs) -> TestFile:
-    """Parse in-memory test text using the named native format."""
-    try:
-        _, text_parser, _ = _FORMATS[suite_format.lower()]
-    except KeyError:
-        raise TestFormatError(f"unknown test-suite format: {suite_format!r}; known: {supported_formats()}") from None
-    return text_parser(text, path=path, **kwargs)
+def parse_test_text(text: str, suite_format: str | None = None, path: str = "<memory>", **kwargs) -> TestFile:
+    """Parse in-memory test text (auto-detecting the format when unnamed)."""
+    from repro.formats import parse_test_text as _parse_test_text
+
+    return _parse_test_text(text, suite_format, path=path, **kwargs)
 
 
-def load_suite(directory: str, suite_format: str, name: str | None = None, limit: int | None = None) -> TestSuite:
+def load_suite(
+    directory: str,
+    suite_format: str | None = None,
+    name: str | None = None,
+    limit: int | None = None,
+) -> TestSuite:
     """Load every test file under ``directory`` in the given native format.
 
-    ``limit`` truncates the suite (useful for benchmark warm-ups).  Expected
-    output files (``.out`` / ``.result``) are paired automatically by the
-    per-format parsers and are not loaded as test files themselves.
+    With ``suite_format=None`` every registered format's extensions are
+    collected and each file's format is sniffed individually.  ``limit``
+    truncates the suite (useful for benchmark warm-ups).  Expected output
+    files (``.out`` / ``.result``) are paired automatically by the per-format
+    parsers and are not loaded as test files themselves.
     """
-    try:
-        _, _, extensions = _FORMATS[suite_format.lower()]
-    except KeyError:
-        raise TestFormatError(f"unknown test-suite format: {suite_format!r}; known: {supported_formats()}") from None
-    suite = TestSuite(name=name or suite_format)
+    from repro.formats import get_format, parse_test_file as _parse_detected, registered_parsers
+
+    if suite_format is None:
+        parser = None
+        extensions = tuple({extension for candidate in registered_parsers() for extension in candidate.extensions})
+    else:
+        parser = get_format(suite_format)
+        extensions = parser.extensions
+    suite = TestSuite(name=name or suite_format or "detected")
     paths: list[str] = []
     for root, _dirs, files in os.walk(directory):
         if os.path.basename(root) in ("expected", "r"):
@@ -69,5 +69,10 @@ def load_suite(directory: str, suite_format: str, name: str | None = None, limit
     if limit is not None:
         paths = paths[:limit]
     for path in paths:
-        suite.files.append(parse_test_file(path, suite_format))
+        # suite labels stay the parser's canonical name (the seed behaviour:
+        # "sqlite"/"postgresql" aliases still label files "slt"/"postgres")
+        if parser is not None:
+            suite.files.append(parser.parse_file(path))
+        else:
+            suite.files.append(_parse_detected(path))
     return suite

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.adapters.base import DBMSAdapter
 from repro.adapters.faults import FaultReport, FaultSummary
+from repro.adapters.pool import AdapterPool
 from repro.adapters.registry import create_adapter
 from repro.core.records import TestSuite
 from repro.core.runner import RecordOutcome, SuiteResult, TestRunner
@@ -70,22 +71,41 @@ def run_transplant(
     max_records_per_file: int | None = None,
     workers: int = 1,
     executor: str = "auto",
+    pool: AdapterPool | None = None,
+    worker_pool=None,
 ) -> TransplantResult:
     """Run ``suite`` on ``host`` and collect results plus crash/hang reports.
 
     ``workers > 1`` shards the suite's files across a worker pool (see
     :mod:`repro.core.parallel`); the merged result is identical to the serial
     run.  ``executor`` selects the pool flavour (``"process"``, ``"thread"``,
-    or ``"auto"``).
+    or ``"auto"``).  ``pool`` (an :class:`AdapterPool`) serves the serial
+    path's host adapter from a reusable lease instead of a fresh build, and
+    ``worker_pool`` (a :class:`repro.core.parallel.WorkerPool`) keeps sharded
+    workers — and their per-worker adapters — alive across the transplants of
+    one campaign; ``run_matrix`` wires up both.
     """
     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
+    # mirrors TestRunner.run_suite's guard: only multi-file suites shard
+    sharded = workers > 1 and len(suite.files) > 1
+    leased = False
+    deferred_setup = False
     if adapter is None:
-        adapter = create_adapter(host)
-        if workers <= 1:
-            # the sharded path builds fresh adapters inside the workers; only
-            # the serial path executes on this instance (run_file reconnects
-            # via reset() anyway, but connecting here keeps seed behaviour)
-            adapter.connect()
+        if pool is not None and not sharded:
+            # one lease per campaign host instead of a build per transplant
+            adapter = pool.acquire(host)
+            leased = True
+        else:
+            # the sharded path draws execution adapters from the workers' own
+            # pools; this instance only seeds the RunnerSpec, so it stays
+            # unconnected.  The serial path executes on it (run_file
+            # reconnects via reset() anyway, but connecting here keeps seed
+            # behaviour).
+            adapter = create_adapter(host)
+            if not sharded:
+                adapter.setup()
+            else:
+                deferred_setup = True
     if available_extensions is None:
         available_extensions = DEFAULT_EXTENSIONS.get(host, set()) if donor == host else set()
     runner = TestRunner(
@@ -97,7 +117,18 @@ def run_transplant(
         donor_dialect=donor,
         max_records_per_file=max_records_per_file,
     )
-    suite_result = runner.run_suite(suite, workers=workers, executor=executor)
+    if deferred_setup:
+        from repro.core.parallel import runner_spec_for
+
+        if runner_spec_for(runner) is None:
+            # the adapter cannot be rebuilt in workers: run_suite will fall
+            # back to executing serially on this very instance — connect it
+            adapter.setup()
+    try:
+        suite_result = runner.run_suite(suite, workers=workers, executor=executor, worker_pool=worker_pool)
+    finally:
+        if leased:
+            pool.release(adapter)
 
     crashes: list[FaultReport] = []
     hangs: list[FaultReport] = []
@@ -150,32 +181,63 @@ def run_matrix(
     workers: int = 1,
     executor: str = "auto",
     reuse_donor_runs_from: TransplantMatrix | None = None,
+    adapter_pool: AdapterPool | None = None,
+    worker_pool=None,
 ) -> TransplantMatrix:
     """Run every suite on every host (the Figure 4 campaign).
+
+    Adapters are reused across the campaign instead of rebuilt per transplant:
+    the serial path leases each host's adapter from one :class:`AdapterPool`,
+    and the sharded path keeps one persistent
+    :class:`~repro.core.parallel.WorkerPool` whose workers pool their own
+    adapters across suites.  Callers may pass either pool to extend the reuse
+    beyond a single matrix (see :class:`~repro.experiments.context.ExperimentContext`);
+    pools created here are closed here.
 
     ``reuse_donor_runs_from`` lets a translated campaign reuse the donor-on-
     donor entries of an already-computed plain matrix: translation is the
     identity when donor == host (the runner skips it outright), so those runs
     are exactly equal and re-executing them is pure redundancy.  The reuse is
-    part of the cache layer and honours the global cache switch.
+    part of the cache layer and honours the global cache switch.  Entries are
+    copied as-is — the donor matrix must have been computed with the same
+    ``float_tolerance`` / ``max_records_per_file`` as this campaign (as
+    :class:`~repro.experiments.context.ExperimentContext` guarantees), or the
+    reused cells reflect the old parameters.
     """
+    from repro.core.parallel import WorkerPool
+
+    owns_adapter_pool = adapter_pool is None
+    if adapter_pool is None:
+        adapter_pool = AdapterPool()
+    owns_worker_pool = worker_pool is None and workers > 1
+    if worker_pool is None and workers > 1:
+        worker_pool = WorkerPool(workers, executor)
+
     matrix = TransplantMatrix()
-    for suite in suites.values():
-        for host in hosts:
-            if reuse_donor_runs_from is not None and perf_cache.caching_enabled():
-                donor = DONOR_OF_SUITE.get(suite.name, suite.name)
-                if donor == host and (suite.name, host) in reuse_donor_runs_from.entries:
-                    matrix.add(reuse_donor_runs_from.get(suite.name, host))
-                    continue
-            matrix.add(
-                run_transplant(
-                    suite,
-                    host,
-                    float_tolerance=float_tolerance,
-                    translate_dialect=translate_dialect,
-                    max_records_per_file=max_records_per_file,
-                    workers=workers,
-                    executor=executor,
+    try:
+        for suite in suites.values():
+            for host in hosts:
+                if reuse_donor_runs_from is not None and perf_cache.caching_enabled():
+                    donor = DONOR_OF_SUITE.get(suite.name, suite.name)
+                    if donor == host and (suite.name, host) in reuse_donor_runs_from.entries:
+                        matrix.add(reuse_donor_runs_from.get(suite.name, host))
+                        continue
+                matrix.add(
+                    run_transplant(
+                        suite,
+                        host,
+                        float_tolerance=float_tolerance,
+                        translate_dialect=translate_dialect,
+                        max_records_per_file=max_records_per_file,
+                        workers=workers,
+                        executor=executor,
+                        pool=adapter_pool,
+                        worker_pool=worker_pool,
+                    )
                 )
-            )
+    finally:
+        if owns_worker_pool and worker_pool is not None:
+            worker_pool.shutdown()
+        if owns_adapter_pool:
+            adapter_pool.close()
     return matrix

@@ -127,3 +127,13 @@ class UnknownCommandError(RunnerError):
 
 class AdapterNotFoundError(RunnerError):
     """No adapter is registered under the requested name."""
+
+
+class ShardExecutionError(RunnerError):
+    """A genuine error occurred inside a parallel worker shard.
+
+    Distinguishes in-shard failures from worker-pool *infrastructure*
+    failures (broken fork, pickling, sandboxed semaphores): infrastructure
+    failures degrade the run to the threaded pool, while this error
+    propagates to the caller instead of silently re-executing the suite.
+    """

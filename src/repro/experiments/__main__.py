@@ -9,6 +9,23 @@ from repro.experiments.context import ExperimentContext
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
+def _print_formats() -> None:
+    from repro.formats import registered_parsers
+
+    for parser in registered_parsers():
+        aliases = f" (aliases: {', '.join(parser.aliases)})" if parser.aliases else ""
+        extensions = ", ".join(parser.extensions)
+        print(f"{parser.name:10s} {extensions:20s} {parser.description}{aliases}")
+
+
+def _print_adapters() -> None:
+    from repro.adapters import adapter_entries
+
+    for entry in adapter_entries():
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"{entry.name:12s} {entry.description}{aliases}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Run SQuaLity reproduction experiments (tables and figures)")
     parser.add_argument("experiments", nargs="*", default=[], help="experiment ids (default: all); e.g. table4 figure2 bugs")
@@ -16,19 +33,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="corpus generation seed (default 0)")
     parser.add_argument("--workers", type=int, default=1, help="worker-pool width for suite execution (default 1 = serial)")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--list-formats", action="store_true", help="list registered test-suite formats and exit")
+    parser.add_argument("--list-adapters", action="store_true", help="list registered DBMS adapters and exit")
     arguments = parser.parse_args(argv)
 
     if arguments.list:
         for experiment_id, (title, _runner) in EXPERIMENTS.items():
             print(f"{experiment_id:10s} {title}")
         return 0
+    if arguments.list_formats:
+        _print_formats()
+        return 0
+    if arguments.list_adapters:
+        _print_adapters()
+        return 0
 
     selected = arguments.experiments or list(EXPERIMENTS)
-    context = ExperimentContext(scale=arguments.scale, seed=arguments.seed, workers=arguments.workers)
-    for experiment_id in selected:
-        result = run_experiment(experiment_id, context)
-        print(result.text)
-        print()
+    with ExperimentContext(scale=arguments.scale, seed=arguments.seed, workers=arguments.workers) as context:
+        for experiment_id in selected:
+            result = run_experiment(experiment_id, context)
+            print(result.text)
+            print()
     return 0
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.adapters.pool import AdapterPool
 from repro.core.records import TestSuite
 from repro.core.transplant import DEFAULT_HOSTS, TransplantMatrix, run_matrix
 from repro.corpus import build_all_suites, build_suite
@@ -50,6 +51,38 @@ class ExperimentContext:
         self._mysql_suite: TestSuite | None = None
         self._matrix: TransplantMatrix | None = None
         self._translated_matrix: TransplantMatrix | None = None
+        #: campaign-lifetime adapter pool: the plain and translated matrices
+        #: (and any driver-level transplants routed through the context) share
+        #: leased adapters instead of rebuilding them per transplant
+        self.adapter_pool = AdapterPool()
+        self._worker_pool = None
+
+    @property
+    def worker_pool(self):
+        """The context's persistent sharded-execution pool (``workers > 1``)."""
+        if self.workers > 1 and self._worker_pool is None:
+            from repro.core.parallel import WorkerPool
+
+            self._worker_pool = WorkerPool(self.workers, self.executor)
+        return self._worker_pool
+
+    def close(self) -> None:
+        """Release pooled adapters and shut down campaign workers.
+
+        The context stays usable afterwards: the next campaign simply starts
+        from an empty pool.
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.shutdown()
+            self._worker_pool = None
+        self.adapter_pool.close()
+        self.adapter_pool = AdapterPool()
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- corpora -------------------------------------------------------------------
 
@@ -81,7 +114,14 @@ class ExperimentContext:
     def matrix(self) -> TransplantMatrix:
         """The full cross-execution matrix (every suite on every host)."""
         if self._matrix is None:
-            self._matrix = run_matrix(self.suites, hosts=self.hosts, workers=self.workers, executor=self.executor)
+            self._matrix = run_matrix(
+                self.suites,
+                hosts=self.hosts,
+                workers=self.workers,
+                executor=self.executor,
+                adapter_pool=self.adapter_pool,
+                worker_pool=self.worker_pool,
+            )
         return self._matrix
 
     @property
@@ -97,6 +137,10 @@ class ExperimentContext:
                 # donor-on-donor runs are translation no-ops: reuse them from
                 # the plain matrix when it has already been computed
                 reuse_donor_runs_from=self._matrix,
+                # both matrices share the context's pools: host adapters and
+                # sharded workers survive from the plain campaign into this one
+                adapter_pool=self.adapter_pool,
+                worker_pool=self.worker_pool,
             )
         return self._translated_matrix
 

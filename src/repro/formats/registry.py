@@ -1,0 +1,108 @@
+"""Format registry: look up, enumerate, and auto-detect native test formats.
+
+The registry is the single place the rest of the library resolves formats
+through (``core.suite``, the experiments CLI, the examples).  A format is
+registered by decorating its :class:`~repro.formats.base.FormatParser`
+subclass::
+
+    @register_format
+    class MyFormat(FormatParser):
+        name = "myformat"
+        extensions = (".mytest",)
+        ...
+
+:func:`detect_format` implements the sniffing used when no format name is
+given: the file extension narrows the candidates, then each candidate scores
+the content with its :meth:`~repro.formats.base.FormatParser.sniff` hook and
+the best score wins.  Ambiguous extensions (``.test`` is claimed by the SLT,
+DuckDB, and MySQL formats) are resolved purely by content.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import TestFormatError
+from repro.formats.base import FormatParser
+
+#: canonical name -> shared parser instance, in registration order (the order
+#: doubles as the deterministic tie-break for equal sniff scores)
+_REGISTRY: dict[str, FormatParser] = {}
+#: every accepted name (canonical + aliases) -> canonical name
+_NAMES: dict[str, str] = {}
+
+
+def register_format(cls: type[FormatParser]) -> type[FormatParser]:
+    """Class decorator: instantiate ``cls`` and register it under its names."""
+    parser = cls()
+    canonical = parser.name.lower()
+    _REGISTRY[canonical] = parser
+    _NAMES[canonical] = canonical
+    for alias in parser.aliases:
+        _NAMES[alias.lower()] = canonical
+    return cls
+
+
+def get_format(name: str) -> FormatParser:
+    """The registered parser for ``name`` (canonical or alias, case-insensitive)."""
+    try:
+        return _REGISTRY[_NAMES[name.lower()]]
+    except KeyError:
+        raise TestFormatError(
+            f"unknown test-suite format: {name!r}; known: {available_formats(include_aliases=True)}"
+        ) from None
+
+
+def available_formats(include_aliases: bool = False) -> list[str]:
+    """Names of the registered test-suite formats."""
+    return sorted(_NAMES if include_aliases else _REGISTRY)
+
+
+def registered_parsers() -> list[FormatParser]:
+    """The registered parser instances, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def detect_format(path: str | None = None, text: str | None = None) -> FormatParser:
+    """Identify the format of a test file by extension and/or content.
+
+    ``path`` narrows candidates to formats claiming its extension; ``text``
+    (read from ``path`` when omitted but readable) is scored by every
+    candidate's ``sniff``.  Raises :class:`TestFormatError` when nothing
+    matches — an unclaimed extension with unrecognisable content, an empty
+    file, or malformed text no format scores.
+    """
+    if path is None and text is None:
+        raise TestFormatError("detect_format needs a path, text, or both")
+
+    candidates = registered_parsers()
+    if path is not None:
+        extension = os.path.splitext(path)[1].lower()
+        claimed = [parser for parser in candidates if extension in parser.extensions]
+        if len(claimed) == 1:
+            # an unambiguous extension decides outright: no content sniff that
+            # could reject a file its format would happily parse
+            return claimed[0]
+        if claimed:
+            candidates = claimed
+        if text is None and os.path.exists(path):
+            text = FormatParser.read_text(path)
+
+    if text is None:
+        raise TestFormatError(
+            f"cannot detect the format of {path!r} from its extension alone; "
+            f"candidates: {[parser.name for parser in candidates]}"
+        )
+
+    scored = [(parser.sniff(text), parser) for parser in candidates]
+    best_score = max((score for score, _ in scored), default=0.0)
+    if best_score <= 0.0:
+        raise TestFormatError(
+            "cannot detect test format: no registered format recognises the content"
+            + (f" of {path!r}" if path else "")
+        )
+    # registration order breaks exact ties deterministically (first wins)
+    for score, parser in scored:
+        if score == best_score:
+            return parser
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -127,3 +127,22 @@ class TestFaultReporting:
         summary.add(FaultReport(dbms="mysql", kind="hang", statement="s3", message="other"))
         assert summary.unique_crashes() == 1
         assert summary.unique_hangs() == 1
+
+
+class TestRegistryReRegistration:
+    def test_re_registering_a_name_retargets_its_aliases(self):
+        from repro.adapters.registry import _ENTRIES, _NAMES, get_adapter_entry, register_adapter
+        from repro.adapters.minidb_adapter import MiniDBAdapter
+
+        register_adapter("temp-db", lambda **kwargs: MiniDBAdapter("sqlite", **kwargs), aliases=("tempdb",))
+        try:
+            first = get_adapter_entry("tempdb")
+            register_adapter("temp-db", lambda **kwargs: MiniDBAdapter("duckdb", **kwargs), aliases=("tempdb",))
+            # the alias must follow the replacement, not the stale entry
+            assert get_adapter_entry("tempdb") is not first
+            assert create_adapter("tempdb").dialect.name == "duckdb"
+            assert create_adapter("temp-db").dialect.name == "duckdb"
+        finally:
+            _ENTRIES.pop("temp-db", None)
+            _NAMES.pop("temp-db", None)
+            _NAMES.pop("tempdb", None)

@@ -195,3 +195,36 @@ class TestUnifiedRunner:
         runner = TestRunner(adapter, host_name="sqlite", max_records_per_file=5)
         result = runner.run_file(small_slt_suite.files[0])
         assert len(result.results) <= 5
+
+
+class TestFileResultCounters:
+    def _results(self, outcomes):
+        from repro.core.records import StatementRecord
+        from repro.core.runner import RecordResult
+
+        return [RecordResult(record=StatementRecord(sql="SELECT 1"), outcome=outcome) for outcome in outcomes]
+
+    def test_counts_survive_list_replacement_with_reused_id(self):
+        from repro.core.runner import FileResult, RecordOutcome
+
+        file_result = FileResult(path="p", suite="slt", host="sqlite")
+        file_result.results = self._results([RecordOutcome.PASS, RecordOutcome.PASS])
+        assert file_result.passed == 2
+        # replace the list repeatedly: CPython frequently reuses the freed
+        # list's id(), which an id-based staleness check mistakes for the
+        # already-counted list
+        for _ in range(8):
+            file_result.results = self._results([RecordOutcome.FAIL, RecordOutcome.FAIL, RecordOutcome.FAIL])
+            assert file_result.passed == 0
+            assert file_result.failed == 3
+
+    def test_counts_follow_truncation_and_append(self):
+        from repro.core.runner import FileResult, RecordOutcome
+
+        file_result = FileResult(path="p", suite="slt", host="sqlite")
+        file_result.results.extend(self._results([RecordOutcome.PASS, RecordOutcome.FAIL]))
+        assert (file_result.passed, file_result.failed) == (1, 1)
+        del file_result.results[1:]
+        assert (file_result.passed, file_result.failed) == (1, 0)
+        file_result.results.extend(self._results([RecordOutcome.SKIP]))
+        assert file_result.skipped == 1
