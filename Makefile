@@ -1,12 +1,28 @@
 # Test / benchmark entry points.  PYTHONPATH=src keeps the repo runnable
 # without an editable install.
+#
+# Two gates, one local and one hosted:
+#
+#   make tier1   — the local correctness gate (must stay green before every
+#                  push): lint + pytest + a perf-regression comparison against
+#                  the *local* frozen baseline.  The baseline is machine-local
+#                  (wall times don't transfer between machines), so on a fresh
+#                  checkout the comparison reports "unarmed" (exit 3 from
+#                  scripts/bench_compare.py) with arming instructions instead
+#                  of silently passing.
+#   make ci      — exactly what .github/workflows/ci.yml runs per Python
+#                  version: lint + pytest + tier2-bench, *without* the
+#                  baseline comparison (CI machines have no frozen baseline;
+#                  the bench step is non-blocking there and the report is
+#                  uploaded as a build artifact instead).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 tier2-bench bench bench-compare bench-baseline lint
+.PHONY: tier1 ci tier2-bench bench bench-compare bench-baseline lint
 
-## lint: fast static checks — byte-compile everything, plus pyflakes when installed
+## lint: fast static checks — byte-compile everything, pyflakes when installed,
+## and fail if a generated artifact (BENCH report, store directory) is tracked
 lint:
 	$(PYTHON) -m compileall -q src tests examples scripts benchmarks
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
@@ -14,18 +30,33 @@ lint:
 	else \
 		echo "pyflakes not installed; skipped"; \
 	fi
+	$(PYTHON) scripts/check_tracked_artifacts.py
 
 ## tier1: the correctness gate (must stay green) — lint, tests, and a perf
 ## regression check against the local pipeline baseline (>20% fails).  The
-## benchmark reports are gitignored: on a fresh checkout run 'make tier2-bench'
-## then 'make bench-baseline' once to arm the perf gate.
+## benchmark reports are gitignored: on a fresh checkout the comparison exits
+## with the distinct "no baseline" status (3) and prints arming instructions
+## ('make tier2-bench' then 'make bench-baseline'), which is a warning here,
+## not a pass.
 tier1: lint
 	$(PYTHON) -m pytest -x -q
-	@if [ -f benchmarks/BENCH_baseline.json ] && [ -f benchmarks/BENCH_pipeline.json ]; then \
-		$(PYTHON) scripts/bench_compare.py benchmarks/BENCH_baseline.json benchmarks/BENCH_pipeline.json; \
-	else \
-		echo "perf gate unarmed: run 'make tier2-bench' then 'make bench-baseline' once"; \
+	@$(PYTHON) scripts/bench_compare.py benchmarks/BENCH_baseline.json benchmarks/BENCH_pipeline.json; \
+	status=$$?; \
+	if [ $$status -eq 3 ]; then \
+		echo "tier1: perf gate skipped (unarmed)"; \
+	elif [ $$status -ne 0 ]; then \
+		exit $$status; \
 	fi
+
+## ci: what the hosted workflow runs per Python version — lint + full tests +
+## the pipeline benchmark, without the machine-local baseline comparison.
+## The bench step is non-blocking, exactly like the workflow's
+## continue-on-error (wall-clock assertions are too noisy to gate on
+## arbitrary machines).
+ci: lint
+	$(PYTHON) -m pytest -q
+	@$(PYTHON) -m pytest benchmarks/bench_pipeline.py -q \
+		|| echo "ci: bench step failed (non-blocking, mirrors hosted CI)"
 
 ## bench-baseline: freeze the current pipeline report as the local baseline
 bench-baseline:

@@ -23,6 +23,7 @@ from repro.analysis.statements import standard_compliance, statement_type_distri
 from repro.core.transplant import DEFAULT_HOSTS, run_matrix, run_transplant
 from repro.corpus import build_suite
 from repro.perf import cache as perf_cache
+from repro.store import ArtifactStore, canonical_bytes, store_disabled
 
 #: Campaign workload: one suite, analysed and cross-executed on every host,
 #: plain and with the dialect translator (the tables 1-6 / figure 4 pipeline).
@@ -35,6 +36,14 @@ CAMPAIGN_WORKERS = 4
 #: Regression floor enforced here and recorded in BENCH_pipeline.json.
 #: Override with BENCH_MIN_SPEEDUP for heavily loaded / constrained machines.
 MIN_SPEEDUP = float(os.environ.get("BENCH_MIN_SPEEDUP", "2.0"))
+
+#: Floor for the warm-artifact-store campaign (second invocation vs cold).
+MIN_STORE_SPEEDUP = float(os.environ.get("BENCH_MIN_STORE_SPEEDUP", "1.5"))
+
+#: Workload of the warm-vs-cold store benchmark: two suites so both donor
+#: flavours (real sqlite3 for SLT, MiniDB recording for PostgreSQL) weigh in.
+STORE_CAMPAIGN_SUITES = (("slt", 6, 80), ("postgres", 4, 40))
+STORE_CAMPAIGN_SEED = 42
 
 
 def _analysis_pass(suite):
@@ -109,31 +118,39 @@ def test_cross_execution_postgres_suite_on_mysql(benchmark):
 
 
 def test_pipeline_campaign_parallel_speedup(benchmark):
-    """workers=4 + caches vs the serial seed path, on the same suite."""
-    suite = build_suite(
-        CAMPAIGN_SUITE,
-        file_count=CAMPAIGN_FILES,
-        records_per_file=CAMPAIGN_RECORDS_PER_FILE,
-        seed=CAMPAIGN_SEED,
-    )
+    """workers=4 + caches vs the serial seed path, on the same suite.
 
-    # serial seed path: caches off, workers=1 (the seed pipeline, end to end)
-    perf_cache.clear_caches()
-    with perf_cache.caching_disabled():
-        serial_wall, serial_result = _timed_min_of(2, lambda: _campaign(suite, workers=1))
+    The artifact store is disabled for both paths: this benchmark measures
+    parallelism + in-process caches against the seed pipeline, and a stored
+    donor run would let the "serial seed" side skip execution entirely.
+    The store's own contribution is measured by
+    :func:`test_pipeline_store_warm_vs_cold`.
+    """
+    with store_disabled():
+        suite = build_suite(
+            CAMPAIGN_SUITE,
+            file_count=CAMPAIGN_FILES,
+            records_per_file=CAMPAIGN_RECORDS_PER_FILE,
+            seed=CAMPAIGN_SEED,
+        )
 
-    # parallel, cache-aware path (benchmark.pedantic may only run once, so the
-    # first round goes through it and the best-of-two is timed manually)
-    perf_cache.clear_caches()
+        # serial seed path: caches off, workers=1 (the seed pipeline, end to end)
+        perf_cache.clear_caches()
+        with perf_cache.caching_disabled():
+            serial_wall, serial_result = _timed_min_of(2, lambda: _campaign(suite, workers=1))
 
-    def parallel_campaign():
-        return _campaign(suite, workers=CAMPAIGN_WORKERS)
+        # parallel, cache-aware path (benchmark.pedantic may only run once, so
+        # the first round goes through it and the best-of-two is timed manually)
+        perf_cache.clear_caches()
 
-    started = time.perf_counter()
-    parallel_result = benchmark.pedantic(parallel_campaign, rounds=1, iterations=1)
-    first_wall = time.perf_counter() - started
-    second_wall, parallel_result = _timed_min_of(1, parallel_campaign)
-    parallel_wall = min(first_wall, second_wall)
+        def parallel_campaign():
+            return _campaign(suite, workers=CAMPAIGN_WORKERS)
+
+        started = time.perf_counter()
+        parallel_result = benchmark.pedantic(parallel_campaign, rounds=1, iterations=1)
+        first_wall = time.perf_counter() - started
+        second_wall, parallel_result = _timed_min_of(1, parallel_campaign)
+        parallel_wall = min(first_wall, second_wall)
 
     assert _campaign_counts(serial_result) == _campaign_counts(parallel_result), (
         "sharded, cached campaign must reproduce the serial seed results exactly"
@@ -167,4 +184,88 @@ def test_pipeline_campaign_parallel_speedup(benchmark):
     assert speedup >= MIN_SPEEDUP, (
         f"parallel cache-aware pipeline must be at least {MIN_SPEEDUP}x faster than "
         f"the serial seed path (got {speedup:.2f}x)"
+    )
+
+
+def _store_campaign(store):
+    """Corpus build + plain and translated matrices for the store benchmark."""
+    suites = {}
+    for name, file_count, records_per_file in STORE_CAMPAIGN_SUITES:
+        suites[name] = build_suite(
+            name, file_count=file_count, records_per_file=records_per_file, seed=STORE_CAMPAIGN_SEED, store=store
+        )
+    plain = run_matrix(suites, store=store)
+    translated = run_matrix(suites, translate_dialect=True, reuse_donor_runs_from=plain, store=store)
+    return plain, translated
+
+
+def _matrix_result_bytes(matrices):
+    """Canonical bytes of every SuiteResult, keyed for comparison."""
+    payload = {}
+    for label, matrix in zip(("plain", "translated"), matrices):
+        for (suite, host), entry in matrix.entries.items():
+            payload[(label, suite, host)] = canonical_bytes(entry.result)
+    return payload
+
+
+def test_pipeline_store_warm_vs_cold(benchmark, tmp_path):
+    """The same campaign invoked twice: cold store, then warm.
+
+    This models a fresh process running the identical campaign twice.  The
+    first invocation starts from nothing — corpora are generated (donor-
+    recorded), donor runs executed, everything persisted; statement caches are
+    cleared beforehand so session warmth from earlier benchmarks cannot
+    flatter it.  The second invocation loads corpora and donor runs from the
+    store and — like any real repeat invocation — also enjoys the warm
+    in-process statement caches.  ``warm_cold_caches_wall_s`` isolates the
+    store's share: the same warm-store pass with statement caches cleared
+    (what a *new* process with a warm store sees).
+
+    The warm results must be byte-identical (canonical serialization) to a
+    storeless run, and at least ``MIN_STORE_SPEEDUP`` faster than cold.
+    """
+    store = ArtifactStore(root=tmp_path / "repro-store")
+
+    perf_cache.clear_caches()
+    cold_wall, cold_result = _timed_min_of(1, lambda: _store_campaign(store))
+
+    warm_first, warm_result = _timed_min_of(1, lambda: _store_campaign(store))
+    started = time.perf_counter()
+    warm_result = benchmark.pedantic(lambda: _store_campaign(store), rounds=1, iterations=1)
+    warm_wall = min(warm_first, time.perf_counter() - started)
+
+    # store-only contribution: warm store, fresh statement caches
+    perf_cache.clear_caches()
+    warm_cold_caches_wall, _ = _timed_min_of(1, lambda: _store_campaign(store))
+
+    with store_disabled():
+        storeless_result = _store_campaign(store=None)
+
+    assert _matrix_result_bytes(warm_result) == _matrix_result_bytes(storeless_result), (
+        "warm-store campaign must reproduce the storeless results byte-for-byte"
+    )
+    assert _campaign_counts(cold_result) == _campaign_counts(warm_result)
+
+    snapshot = store.snapshot()
+    snapshot.pop("root", None)  # a tmp path would churn the report between runs
+    speedup = cold_wall / warm_wall if warm_wall else float("inf")
+    update_pipeline_report(
+        {
+            "pipeline_store": {
+                "suites": [name for name, _, _ in STORE_CAMPAIGN_SUITES],
+                "records": _total_records(warm_result),
+                "cold_wall_s": round(cold_wall, 4),
+                "warm_wall_s": round(warm_wall, 4),
+                "warm_cold_caches_wall_s": round(warm_cold_caches_wall, 4),
+                "speedup_warm_vs_cold": round(speedup, 3),
+                "min_speedup_required": MIN_STORE_SPEEDUP,
+                "store_hit_rate": snapshot["hit_rate"],
+                "store_stats": snapshot,
+            }
+        }
+    )
+    print(f"\nstore campaign: cold {cold_wall:.3f}s, warm {warm_wall:.3f}s, speedup {speedup:.2f}x")
+    assert speedup >= MIN_STORE_SPEEDUP, (
+        f"warm-store campaign must be at least {MIN_STORE_SPEEDUP}x faster than the "
+        f"cold pass (got {speedup:.2f}x)"
     )

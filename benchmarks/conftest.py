@@ -14,10 +14,22 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.context import ExperimentContext
+from repro.store import ArtifactStore, set_default_store
 
 #: Scale used by the benchmark campaign (fraction of the default file counts).
 BENCHMARK_SCALE = 0.5
 BENCHMARK_SEED = 0
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_store(tmp_path_factory):
+    """Per-session artifact store: benchmark timings must never depend on what
+    a previous run left in the user-level store (cold/warm measurements manage
+    their own store instances explicitly)."""
+    root = tmp_path_factory.mktemp("repro-store")
+    previous = set_default_store(ArtifactStore(root=root))
+    yield
+    set_default_store(previous)
 
 
 @pytest.fixture(scope="session")

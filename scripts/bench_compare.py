@@ -5,12 +5,21 @@ Usage::
 
     python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.2]
 
-Exits non-zero when any shared entry regresses by more than ``--threshold``
-(default 20%).  Wall-time metrics (``*_wall_s``) regress when the current
-value is *higher* than baseline; throughput-style metrics
-(``speedup_vs_serial``, ``records_per_sec``) regress when it is *lower*.
-Entries or metrics present on only one side are reported but never fail the
-comparison (benchmarks are allowed to grow).
+Exit status:
+
+* ``0`` — no regressions,
+* ``1`` — at least one shared metric regressed beyond ``--threshold``
+  (default 20%), or a report is unreadable,
+* ``3`` (``EXIT_NO_BASELINE``) — a report file does not exist.  This is the
+  fresh-checkout state (both reports are gitignored): the perf gate is not
+  armed, which callers must be able to distinguish from "compared and
+  passed".  ``make tier1`` treats it as a warning; CI prints the same arming
+  instructions.
+
+Wall-time metrics (``*_wall_s``) regress when the current value is *higher*
+than baseline; throughput-style metrics (``speedup_*``, ``records_per_sec``)
+regress when it is *lower*.  Entries or metrics present on only one side are
+reported but never fail the comparison (benchmarks are allowed to grow).
 """
 
 from __future__ import annotations
@@ -20,9 +29,19 @@ import json
 import sys
 from pathlib import Path
 
+#: Distinct exit status for "nothing to compare against" (vs 1 = regression).
+EXIT_NO_BASELINE = 3
+
+#: How to arm the perf gate on a fresh checkout; printed on EXIT_NO_BASELINE.
+ARMING_INSTRUCTIONS = (
+    "perf gate unarmed: benchmark reports are not checked in.  To arm it, run\n"
+    "  make tier2-bench      # regenerates benchmarks/BENCH_pipeline.json\n"
+    "  make bench-baseline   # freezes it as benchmarks/BENCH_baseline.json\n"
+    "after which 'make tier1' compares every run against the frozen baseline."
+)
+
 #: metric name -> True when higher values are better.
 _HIGHER_IS_BETTER = {
-    "speedup_vs_serial": True,
     "records_per_sec": True,
 }
 
@@ -31,12 +50,16 @@ def _is_wall_metric(name: str) -> bool:
     return name.endswith("_wall_s")
 
 
+def _is_higher_better(name: str) -> bool:
+    return name.startswith("speedup") or _HIGHER_IS_BETTER.get(name, False)
+
+
 def _comparable_metrics(entry: dict) -> dict[str, float]:
     metrics: dict[str, float] = {}
     for name, value in entry.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
-        if _is_wall_metric(name) or name in _HIGHER_IS_BETTER:
+        if _is_wall_metric(name) or _is_higher_better(name):
             metrics[name] = float(value)
     return metrics
 
@@ -68,7 +91,7 @@ def compare(baseline: dict[str, dict], current: dict[str, dict], threshold: floa
             old, new = base_metrics[metric], current_metrics[metric]
             if old == 0:
                 continue
-            higher_is_better = _HIGHER_IS_BETTER.get(metric, False)
+            higher_is_better = _is_higher_better(metric)
             change = (new - old) / old
             worse = -change if higher_is_better else change
             marker = "REGRESSION" if worse > threshold else "ok"
@@ -84,6 +107,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("current", type=Path, help="current BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.2, help="allowed fractional regression (default 0.2 = 20%%)")
     arguments = parser.parse_args(argv)
+
+    missing = [path for path in (arguments.baseline, arguments.current) if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no report: {path}")
+        print(ARMING_INSTRUCTIONS)
+        return EXIT_NO_BASELINE
 
     lines = compare(_load(arguments.baseline), _load(arguments.current), arguments.threshold)
     for line in lines:

@@ -17,6 +17,8 @@ from repro.adapters.registry import create_adapter
 from repro.core.records import TestSuite
 from repro.core.runner import RecordOutcome, SuiteResult, TestRunner
 from repro.perf import cache as perf_cache
+from repro.store import artifacts as artifact_store
+from repro.store.keys import suite_content_hash
 
 #: Host names used throughout the experiments, in the paper's column order.
 DEFAULT_HOSTS = ("sqlite", "postgres", "duckdb", "mysql")
@@ -61,6 +63,34 @@ class TransplantResult:
         return self.result.success_rate
 
 
+def _donor_run_key(
+    suite: TestSuite,
+    host: str,
+    float_tolerance: float,
+    available_extensions: set[str],
+    max_records_per_file: int | None,
+    adapter_kwargs: dict | None = None,
+) -> dict:
+    """Store key of one donor run.
+
+    Keyed on the suite's *content* (not its name or seed) so any campaign that
+    builds an identical suite — this process or another one, today or next
+    week — finds the recorded run.  ``translate_dialect`` and ``workers`` are
+    deliberately absent: translation is the identity when donor == host (the
+    runner skips it outright) and sharded execution merges to the exact serial
+    result, so both knobs cannot change a donor run's outcome.
+    """
+    return {
+        "suite_hash": suite_content_hash(suite),
+        "suite": suite.name,
+        "host": host,
+        "float_tolerance": float_tolerance,
+        "extensions": sorted(available_extensions),
+        "max_records_per_file": max_records_per_file,
+        "adapter_kwargs": dict(adapter_kwargs or {}),
+    }
+
+
 def run_transplant(
     suite: TestSuite,
     host: str,
@@ -73,6 +103,7 @@ def run_transplant(
     executor: str = "auto",
     pool: AdapterPool | None = None,
     worker_pool=None,
+    store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
 ) -> TransplantResult:
     """Run ``suite`` on ``host`` and collect results plus crash/hang reports.
 
@@ -84,8 +115,24 @@ def run_transplant(
     ``worker_pool`` (a :class:`repro.core.parallel.WorkerPool`) keeps sharded
     workers — and their per-worker adapters — alive across the transplants of
     one campaign; ``run_matrix`` wires up both.
+
+    **Donor runs are memoized on disk**: when ``host`` is the suite's donor
+    (and no caller-built ``adapter`` overrides the default), the whole
+    :class:`TransplantResult` is served from the artifact store when an
+    identical suite was already recorded — by this process or any earlier one.
+    ``store=None`` or :func:`repro.store.store_disabled` restores the always-
+    execute path.
     """
     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
+    if available_extensions is None:
+        available_extensions = DEFAULT_EXTENSIONS.get(host, set()) if donor == host else set()
+    backing = artifact_store.active_store(store) if adapter is None else None
+    memo_key = None
+    if backing is not None and donor == host:
+        memo_key = _donor_run_key(suite, host, float_tolerance, available_extensions, max_records_per_file)
+        cached = backing.load("donor-runs", memo_key)
+        if isinstance(cached, TransplantResult):
+            return cached
     # mirrors TestRunner.run_suite's guard: only multi-file suites shard
     sharded = workers > 1 and len(suite.files) > 1
     leased = False
@@ -106,8 +153,6 @@ def run_transplant(
                 adapter.setup()
             else:
                 deferred_setup = True
-    if available_extensions is None:
-        available_extensions = DEFAULT_EXTENSIONS.get(host, set()) if donor == host else set()
     runner = TestRunner(
         adapter,
         host_name=host,
@@ -138,7 +183,10 @@ def run_transplant(
                 crashes.append(FaultReport(dbms=host, kind="crash", statement=record_result.sql, message=record_result.error))
             elif record_result.outcome is RecordOutcome.HANG:
                 hangs.append(FaultReport(dbms=host, kind="hang", statement=record_result.sql, message=record_result.error))
-    return TransplantResult(suite=suite.name, host=host, donor=donor, result=suite_result, crashes=crashes, hangs=hangs)
+    transplant_result = TransplantResult(suite=suite.name, host=host, donor=donor, result=suite_result, crashes=crashes, hangs=hangs)
+    if memo_key is not None:
+        backing.save("donor-runs", memo_key, transplant_result)
+    return transplant_result
 
 
 @dataclass
@@ -183,6 +231,7 @@ def run_matrix(
     reuse_donor_runs_from: TransplantMatrix | None = None,
     adapter_pool: AdapterPool | None = None,
     worker_pool=None,
+    store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
 ) -> TransplantMatrix:
     """Run every suite on every host (the Figure 4 campaign).
 
@@ -203,9 +252,15 @@ def run_matrix(
     ``float_tolerance`` / ``max_records_per_file`` as this campaign (as
     :class:`~repro.experiments.context.ExperimentContext` guarantees), or the
     reused cells reflect the old parameters.
+
+    ``store`` extends that reuse across processes: donor-run cells are served
+    from the persistent artifact store (see :func:`run_transplant`), so a
+    repeated campaign only executes the cross-host cells.
     """
     from repro.core.parallel import WorkerPool
 
+    # resolve once so every transplant of the campaign hits the same store
+    store = artifact_store.active_store(store)
     owns_adapter_pool = adapter_pool is None
     if adapter_pool is None:
         adapter_pool = AdapterPool()
@@ -233,6 +288,7 @@ def run_matrix(
                         executor=executor,
                         pool=adapter_pool,
                         worker_pool=worker_pool,
+                        store=store,
                     )
                 )
     finally:

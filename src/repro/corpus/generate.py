@@ -31,6 +31,7 @@ from repro.adapters.registry import create_adapter
 from repro.core.comparison import normalize_value
 from repro.core.records import TestFile, TestSuite
 from repro.core.suite import parse_test_text
+from repro.store import artifacts as artifact_store
 from repro.corpus.datagen import (
     SchemaState,
     choose_bucket,
@@ -789,16 +790,40 @@ def _serialize_mysql(resolved: list[ResolvedRecord]) -> tuple[str, str]:
 # ---------------------------------------------------------------------------
 
 
+def _corpus_key(suite: str, file_count: int, records_per_file: int, seed: int) -> dict:
+    """Store key of one generated corpus (the code fingerprint is added by the
+    store itself, so a generator change invalidates every persisted suite)."""
+    return {
+        "suite": suite,
+        "file_count": file_count,
+        "records_per_file": records_per_file,
+        "seed": seed,
+    }
+
+
 def generate_corpus(
     suite: str,
     file_count: int | None = None,
     records_per_file: int | None = None,
     seed: int = 0,
+    store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
 ) -> list[GeneratedFile]:
-    """Generate native-format test files for ``suite`` (``slt``/``postgres``/...)."""
+    """Generate native-format test files for ``suite`` (``slt``/``postgres``/...).
+
+    Generation is expensive (every statement is recorded on the donor), so the
+    serialized texts are persisted in the artifact store and later calls —
+    in *any* process — load instead of regenerating.  ``store=None`` (or the
+    global :func:`repro.store.store_disabled` switch) forces regeneration.
+    """
     profile = PAPER_PROFILES[suite]
     count = file_count if file_count is not None else DEFAULT_FILE_COUNT[suite]
     per_file = records_per_file if records_per_file is not None else DEFAULT_RECORDS_PER_FILE[suite]
+    backing = artifact_store.active_store(store)
+    key = _corpus_key(suite, count, per_file, seed)
+    if backing is not None:
+        cached = backing.load("corpus-files", key)
+        if cached is not None:
+            return [GeneratedFile(**entry) for entry in cached]
     generated: list[GeneratedFile] = []
     for index in range(count):
         # hash() is salted per process; derive a stable per-file seed instead so
@@ -819,6 +844,15 @@ def generate_corpus(
         else:  # mysql
             test_text, result_text = _serialize_mysql(resolved)
             generated.append(GeneratedFile(name=f"mysql_{index + 1:03d}.test", primary_text=test_text, expected_text=result_text))
+    if backing is not None:
+        backing.save(
+            "corpus-files",
+            key,
+            [
+                {"name": item.name, "primary_text": item.primary_text, "expected_text": item.expected_text}
+                for item in generated
+            ],
+        )
     return generated
 
 
@@ -827,9 +861,24 @@ def build_suite(
     file_count: int | None = None,
     records_per_file: int | None = None,
     seed: int = 0,
+    store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
 ) -> TestSuite:
-    """Generate a corpus and parse it back through the native-format parsers."""
-    generated = generate_corpus(suite, file_count=file_count, records_per_file=records_per_file, seed=seed)
+    """Generate a corpus and parse it back through the native-format parsers.
+
+    The parsed :class:`TestSuite` is itself persisted in the artifact store
+    (namespace ``corpus-suites``), so a warm process skips both generation and
+    re-parsing; a store miss falls through to :func:`generate_corpus`, whose
+    own ``corpus-files`` namespace may still satisfy the generation half.
+    """
+    backing = artifact_store.active_store(store)
+    count = file_count if file_count is not None else DEFAULT_FILE_COUNT[suite]
+    per_file = records_per_file if records_per_file is not None else DEFAULT_RECORDS_PER_FILE[suite]
+    key = _corpus_key(suite, count, per_file, seed)
+    if backing is not None:
+        cached = backing.load("corpus-suites", key)
+        if isinstance(cached, TestSuite):
+            return cached
+    generated = generate_corpus(suite, file_count=file_count, records_per_file=records_per_file, seed=seed, store=backing)
     test_suite = TestSuite(name=suite)
     for item in generated:
         if suite == "postgres":
@@ -841,10 +890,17 @@ def build_suite(
         else:
             test_file = parse_test_text(item.primary_text, "slt", path=item.name)
         test_suite.files.append(test_file)
+    if backing is not None:
+        backing.save("corpus-suites", key, test_suite)
     return test_suite
 
 
-def build_all_suites(seed: int = 0, scale: float = 1.0, include_mysql: bool = False) -> dict[str, TestSuite]:
+def build_all_suites(
+    seed: int = 0,
+    scale: float = 1.0,
+    include_mysql: bool = False,
+    store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
+) -> dict[str, TestSuite]:
     """Build the executable suites of RQ2-RQ4 (plus MySQL for RQ1 if asked).
 
     ``scale`` multiplies the default file counts (1.0 ≈ a few thousand test
@@ -855,17 +911,23 @@ def build_all_suites(seed: int = 0, scale: float = 1.0, include_mysql: bool = Fa
     names = ["slt", "postgres", "duckdb"] + (["mysql"] if include_mysql else [])
     for name in names:
         file_count = max(3, int(round(DEFAULT_FILE_COUNT[name] * scale)))
-        suites[name] = build_suite(name, file_count=file_count, seed=seed)
+        suites[name] = build_suite(name, file_count=file_count, seed=seed, store=store)
     return suites
 
 
-def write_corpus(directory: str, suite: str, seed: int = 0, file_count: int | None = None) -> list[str]:
+def write_corpus(
+    directory: str,
+    suite: str,
+    seed: int = 0,
+    file_count: int | None = None,
+    store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
+) -> list[str]:
     """Write a generated corpus to ``directory`` in its native on-disk layout."""
     import os
 
     os.makedirs(directory, exist_ok=True)
     written: list[str] = []
-    for item in generate_corpus(suite, file_count=file_count, seed=seed):
+    for item in generate_corpus(suite, file_count=file_count, seed=seed, store=store):
         primary_path = os.path.join(directory, item.name)
         with open(primary_path, "w", encoding="utf-8") as handle:
             handle.write(item.primary_text)

@@ -32,6 +32,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=1.0, help="corpus scale factor (default 1.0)")
     parser.add_argument("--seed", type=int, default=0, help="corpus generation seed (default 0)")
     parser.add_argument("--workers", type=int, default=1, help="worker-pool width for suite execution (default 1 = serial)")
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="PATH",
+        help="artifact-store directory for corpora and donor runs (default: $REPRO_STORE_DIR or ~/.cache/repro-store)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent artifact store (regenerate corpora and re-record donor runs)",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument("--list-formats", action="store_true", help="list registered test-suite formats and exit")
     parser.add_argument("--list-adapters", action="store_true", help="list registered DBMS adapters and exit")
@@ -49,7 +60,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     selected = arguments.experiments or list(EXPERIMENTS)
-    with ExperimentContext(scale=arguments.scale, seed=arguments.seed, workers=arguments.workers) as context:
+    with ExperimentContext(
+        scale=arguments.scale,
+        seed=arguments.seed,
+        workers=arguments.workers,
+        store_dir=arguments.store_dir,
+        use_store=not arguments.no_store,
+    ) as context:
         for experiment_id in selected:
             result = run_experiment(experiment_id, context)
             print(result.text)

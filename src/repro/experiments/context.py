@@ -9,6 +9,8 @@ from repro.adapters.pool import AdapterPool
 from repro.core.records import TestSuite
 from repro.core.transplant import DEFAULT_HOSTS, TransplantMatrix, run_matrix
 from repro.corpus import build_all_suites, build_suite
+from repro.store import ArtifactStore
+from repro.store import artifacts as artifact_store
 
 
 @dataclass
@@ -30,6 +32,12 @@ class ExperimentContext:
     ``scale`` scales the number of generated test files per suite (1.0 is the
     laptop-sized default documented in EXPERIMENTS.md); ``seed`` makes the
     whole campaign deterministic.
+
+    ``store_dir`` points the persistent artifact store somewhere other than
+    the default (``REPRO_STORE_DIR`` or ``~/.cache/repro-store``);
+    ``use_store=False`` runs the whole campaign storeless (the CLI's
+    ``--no-store``).  Corpora and donor runs are then loaded from disk when a
+    previous campaign — in any process — already produced them.
     """
 
     def __init__(
@@ -39,10 +47,22 @@ class ExperimentContext:
         hosts: tuple[str, ...] = DEFAULT_HOSTS,
         workers: int = 1,
         executor: str = "auto",
+        store_dir: str | None = None,
+        use_store: bool = True,
     ):
         self.scale = scale
         self.seed = seed
         self.hosts = hosts
+        #: resolved artifact-store argument threaded through every corpus
+        #: build and campaign: an explicit store, the process default
+        #: (``DEFAULT``), or ``None`` for storeless
+        self.store: "ArtifactStore | str | None"
+        if not use_store:
+            self.store = None
+        elif store_dir is not None:
+            self.store = ArtifactStore(root=store_dir)
+        else:
+            self.store = artifact_store.DEFAULT
         #: worker-pool width used for every cross-execution campaign; all
         #: table/figure drivers inherit it through the shared matrices
         self.workers = workers
@@ -90,7 +110,7 @@ class ExperimentContext:
     def suites(self) -> dict[str, TestSuite]:
         """The three executable suites (SLT, PostgreSQL, DuckDB)."""
         if self._suites is None:
-            self._suites = build_all_suites(seed=self.seed, scale=self.scale)
+            self._suites = build_all_suites(seed=self.seed, scale=self.scale, store=self.store)
         return self._suites
 
     @property
@@ -100,7 +120,7 @@ class ExperimentContext:
             from repro.corpus.generate import DEFAULT_FILE_COUNT
 
             file_count = max(3, int(round(DEFAULT_FILE_COUNT["mysql"] * self.scale)))
-            self._mysql_suite = build_suite("mysql", file_count=file_count, seed=self.seed)
+            self._mysql_suite = build_suite("mysql", file_count=file_count, seed=self.seed, store=self.store)
         return self._mysql_suite
 
     def all_suites_with_mysql(self) -> dict[str, TestSuite]:
@@ -121,6 +141,7 @@ class ExperimentContext:
                 executor=self.executor,
                 adapter_pool=self.adapter_pool,
                 worker_pool=self.worker_pool,
+                store=self.store,
             )
         return self._matrix
 
@@ -141,6 +162,7 @@ class ExperimentContext:
                 # sharded workers survive from the plain campaign into this one
                 adapter_pool=self.adapter_pool,
                 worker_pool=self.worker_pool,
+                store=self.store,
             )
         return self._translated_matrix
 

@@ -1,0 +1,46 @@
+"""Persistent artifact store: cross-process reuse of corpora and donor runs.
+
+Two clients ride on the store (see docs/STORE.md):
+
+* :mod:`repro.corpus.generate` persists generated suites keyed by
+  ``(suite, seed, scale, generator fingerprint)`` so ``build_suite`` loads
+  instead of regenerating across processes and campaigns, and
+* :mod:`repro.core.transplant` memoizes donor-run ``TransplantResult``s keyed
+  by ``(suite content hash, donor, adapter kwargs)`` so ``run_matrix`` and
+  translated campaigns skip re-recording donors entirely.
+"""
+
+from repro.store.artifacts import (
+    DEFAULT,
+    DEFAULT_MAX_BYTES,
+    DEFAULT_ROOT,
+    ArtifactStore,
+    StoreStats,
+    active_store,
+    get_default_store,
+    set_default_store,
+    set_store_enabled,
+    store_disabled,
+    store_enabled,
+)
+from repro.store.fingerprint import code_fingerprint, reset_fingerprint_cache
+from repro.store.keys import canonical_bytes, key_digest, suite_content_hash
+
+__all__ = [
+    "DEFAULT",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_ROOT",
+    "ArtifactStore",
+    "StoreStats",
+    "active_store",
+    "canonical_bytes",
+    "code_fingerprint",
+    "get_default_store",
+    "key_digest",
+    "reset_fingerprint_cache",
+    "set_default_store",
+    "set_store_enabled",
+    "store_disabled",
+    "store_enabled",
+    "suite_content_hash",
+]

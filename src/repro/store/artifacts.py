@@ -1,0 +1,368 @@
+"""``ArtifactStore`` — a content-addressed, disk-backed artifact store.
+
+The pipeline's two most expensive one-shot stages — generating a corpus
+(plan + donor recording + serialization) and recording donor runs — used to
+repeat per process: every campaign, every benchmark round, every test session
+regenerated identical artifacts from the same ``(profile, seed, scale)``
+inputs.  The store persists those artifacts on disk so they are computed once
+per *machine*, not once per process:
+
+* **Content addressing** — an artifact lives at
+  ``<root>/<namespace>/<aa>/<digest>.pkl`` where ``digest`` is the SHA-256 of
+  the canonical key (see :mod:`repro.store.keys`) plus the code-version
+  fingerprint (:mod:`repro.store.fingerprint`).  Changing any ``repro``
+  source invalidates every entry without a deletion pass.
+* **Atomic writes** — payloads are written to a temp file in the target
+  directory and ``os.replace``-d into place, so concurrent writers (parallel
+  campaigns, simultaneous CI jobs on one machine) can race on the same key
+  and readers still only ever observe complete artifacts.
+* **Corruption tolerance** — a truncated/garbled artifact is treated as a
+  miss: the reader deletes it and regenerates.  The store must never be able
+  to fail a pipeline that would have succeeded without it.
+* **LRU/size eviction** — reads freshen an artifact's mtime; writes evict
+  oldest-first once the store exceeds ``max_bytes``
+  (``REPRO_STORE_MAX_BYTES``, default 1 GiB).
+* **Escape hatch** — :func:`store_disabled` (mirroring
+  ``perf.cache.caching_disabled``) routes every consumer down the storeless
+  path; ``--no-store`` on the experiments CLI does the same per run.
+
+Stats are surfaced like ``AdapterPool.stats`` so benchmarks can report hit
+rates (see ``benchmarks/bench_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.store.fingerprint import code_fingerprint
+from repro.store.keys import key_digest
+
+#: On-disk payload layout version; bump on incompatible changes.
+STORE_FORMAT_VERSION = 1
+
+#: Default store location (overridable via ``REPRO_STORE_DIR`` / CLI).
+DEFAULT_ROOT = "~/.cache/repro-store"
+
+#: Default size budget before LRU eviction kicks in.
+DEFAULT_MAX_BYTES = 1 << 30  # 1 GiB
+
+#: Sentinel meaning "use the process default store" in consumer signatures
+#: (``store=None`` means "no store", matching ``--no-store``).
+DEFAULT = "default"
+
+
+class StoreStats:
+    """Hit/miss/write/eviction/error counters for one store."""
+
+    __slots__ = ("hits", "misses", "writes", "evictions", "errors")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.errors = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.writes = self.evictions = self.errors = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "errors": self.errors,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ArtifactStore:
+    """A disk-backed, content-addressed store for expensive pipeline artifacts."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        max_bytes: int | None = None,
+        fingerprint: str | None = None,
+    ):
+        if root is None:
+            root = os.environ.get("REPRO_STORE_DIR") or DEFAULT_ROOT
+        self.root = Path(root).expanduser()
+        if max_bytes is None:
+            max_bytes = int(os.environ.get("REPRO_STORE_MAX_BYTES", DEFAULT_MAX_BYTES))
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        #: code-version component of every key; explicit only in tests
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        #: running estimate of on-disk bytes, seeded by one full scan on the
+        #: first write and bumped per save, so the under-budget fast path
+        #: never walks the tree; None = not yet seeded
+        self._approx_bytes: int | None = None
+
+    # -- addressing --------------------------------------------------------------------
+
+    def path_for(self, namespace: str, key: Any) -> Path:
+        digest = key_digest(namespace, key, self.fingerprint)
+        return self.root / namespace / digest[:2] / f"{digest}.pkl"
+
+    # -- core protocol -----------------------------------------------------------------
+
+    def load(self, namespace: str, key: Any, default: Any = None) -> Any:
+        """The stored value for ``key``, or ``default`` on any kind of miss.
+
+        Corrupt or truncated artifacts — and artifacts whose embedded header
+        does not match (format bump, hash collision) — are deleted and
+        reported as misses; the store never raises out of a read.
+        """
+        path = self.path_for(namespace, key)
+        try:
+            with open(path, "rb") as handle:
+                version, stored_namespace, value = pickle.load(handle)
+            if version != STORE_FORMAT_VERSION or stored_namespace != namespace:
+                raise ValueError(f"artifact header mismatch: {version!r}/{stored_namespace!r}")
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return default
+        except Exception:
+            # unreadable, truncated, or unpicklable: behave as if it never existed
+            self._discard(path)
+            with self._lock:
+                self.stats.errors += 1
+                self.stats.misses += 1
+            return default
+        try:
+            os.utime(path)  # freshen for LRU eviction
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.hits += 1
+        return value
+
+    def save(self, namespace: str, key: Any, value: Any) -> bool:
+        """Persist ``value`` atomically; returns False (and stays silent) on failure.
+
+        A store write failure (read-only filesystem, disk full, unpicklable
+        value) must not fail the pipeline that produced the value.
+        """
+        path = self.path_for(namespace, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=path.parent, prefix=".tmp-", suffix=".pkl", delete=False
+            )
+            try:
+                with handle:
+                    pickle.dump((STORE_FORMAT_VERSION, namespace, value), handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(handle.name, path)
+            except BaseException:
+                self._discard(Path(handle.name))
+                raise
+        except Exception:
+            with self._lock:
+                self.stats.errors += 1
+            return False
+        try:
+            written = path.stat().st_size
+        except OSError:
+            written = 0
+        with self._lock:
+            self.stats.writes += 1
+        self._evict_if_needed(added=written)
+        return True
+
+    def memoize(self, namespace: str, key: Any, producer: Callable[[], Any]) -> Any:
+        """Load ``key``, or compute it with ``producer`` and persist the result."""
+        sentinel = object()
+        value = self.load(namespace, key, default=sentinel)
+        if value is not sentinel:
+            return value
+        value = producer()
+        self.save(namespace, key, value)
+        return value
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def _artifact_files(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) for every artifact currently on disk."""
+        entries: list[tuple[float, int, Path]] = []
+        if not self.root.exists():
+            return entries
+        for path in self.root.rglob("*.pkl"):
+            if path.name.startswith(".tmp-"):
+                continue  # in-flight writes (or leftovers of killed writers)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _evict_if_needed(self, added: int = 0) -> int:
+        """Delete oldest artifacts until the store fits ``max_bytes``.
+
+        The full tree walk is amortized: a running byte estimate (seeded by
+        one scan on the first write, bumped per save) keeps the under-budget
+        fast path O(1); the tree is only re-scanned — and the estimate
+        corrected — when the estimate crosses the budget.  External deletions
+        make the estimate overshoot, which merely triggers a correcting scan;
+        concurrent external *writers* can delay a sweep by at most their own
+        unseen bytes.
+
+        The newest artifact always survives the sweep (the budget may be
+        exceeded by that one entry): evicting the artifact a save just wrote
+        would turn an undersized budget into pure thrashing.
+        """
+        with self._lock:
+            if self._approx_bytes is not None:
+                self._approx_bytes += added
+                if self._approx_bytes <= self.max_bytes:
+                    return 0
+        entries = self._artifact_files()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        if total > self.max_bytes:
+            for _, size, path in sorted(entries)[:-1]:
+                if total <= self.max_bytes:
+                    break
+                self._discard(path)
+                total -= size
+                evicted += 1
+        with self._lock:
+            self._approx_bytes = total
+            if evicted:
+                self.stats.evictions += evicted
+        return evicted
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Delete every artifact (the directory tree is left in place)."""
+        for _, _, path in self._artifact_files():
+            self._discard(path)
+        with self._lock:
+            self._approx_bytes = 0
+        self.stats.reset()
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._artifact_files())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._artifact_files())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Lifetime counters plus current on-disk footprint (cf. ``AdapterPool.stats``)."""
+        entries = self._artifact_files()
+        payload = self.stats.snapshot()
+        payload["entries"] = len(entries)
+        payload["bytes"] = sum(size for _, size, _ in entries)
+        payload["root"] = str(self.root)
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats
+        return f"<ArtifactStore root={self.root} hits={stats.hits} misses={stats.misses} writes={stats.writes}>"
+
+
+# -- process default and global switch -------------------------------------------------
+
+_ENABLED = os.environ.get("REPRO_STORE", "").lower() not in ("0", "off", "no", "disabled")
+_DEFAULT_STORE: ArtifactStore | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def store_enabled() -> bool:
+    """Whether store-backed reuse is active for this process."""
+    return _ENABLED
+
+
+def set_store_enabled(enabled: bool) -> bool:
+    """Set the global store switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def store_disabled() -> Iterator[None]:
+    """Run a block down the storeless path (cf. ``perf.cache.caching_disabled``)."""
+    previous = set_store_enabled(False)
+    try:
+        yield
+    finally:
+        set_store_enabled(previous)
+
+
+def get_default_store() -> ArtifactStore:
+    """The lazily-created process default store (``REPRO_STORE_DIR`` or ``~/.cache``)."""
+    global _DEFAULT_STORE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_STORE is None:
+            _DEFAULT_STORE = ArtifactStore()
+        return _DEFAULT_STORE
+
+
+def set_default_store(store: ArtifactStore | None) -> ArtifactStore | None:
+    """Replace the process default store; returns the previous one.
+
+    ``None`` resets to lazy re-creation from the environment on next use.
+    """
+    global _DEFAULT_STORE
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT_STORE
+        _DEFAULT_STORE = store
+        return previous
+
+
+def active_store(store: "ArtifactStore | str | None" = DEFAULT) -> ArtifactStore | None:
+    """Resolve a consumer's ``store`` argument against the global switch.
+
+    ``DEFAULT`` → the process default store; ``None`` → storeless; an
+    :class:`ArtifactStore` instance → itself.  When the global switch is off
+    (:func:`store_disabled`), every form resolves to ``None`` — the switch is
+    the escape hatch of last resort and wins over explicit arguments.
+
+    Any other value raises: a path string must not silently fall back to the
+    user-level default store (pass ``ArtifactStore(root=path)`` instead).
+    """
+    if not _ENABLED:
+        return None
+    if store is None:
+        return None
+    if isinstance(store, ArtifactStore):
+        return store
+    if store == DEFAULT:
+        return get_default_store()
+    raise TypeError(
+        f"store must be an ArtifactStore, None, or repro.store.DEFAULT, not {store!r}; "
+        "for a custom directory pass ArtifactStore(root=...)"
+    )

@@ -1,0 +1,68 @@
+"""Code-version fingerprinting for stored artifacts.
+
+A disk artifact outlives the process that wrote it, so every store key embeds
+a fingerprint of the code that produced the artifact: change any source file
+of the ``repro`` package and every existing entry silently becomes a miss
+(old entries age out through the store's LRU eviction).  This is deliberately
+coarse — hashing only "the modules that matter" would turn every refactor
+into a correctness audit of the fingerprint's module list.
+
+The runtime is part of the fingerprint too: donor recording executes on the
+interpreter's bundled ``sqlite3``, so artifacts written under one
+Python/SQLite version must not be served to another (different error
+messages, different behaviour — the warm == storeless guarantee would break
+silently across interpreter upgrades).
+
+``REPRO_STORE_FINGERPRINT_SALT`` folds an extra operator-chosen token into
+the fingerprint, which is also how the tests exercise invalidation without
+editing source files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import sqlite3
+from pathlib import Path
+
+_CACHED: str | None = None
+
+
+def _package_root() -> Path:
+    # ``repro`` is a namespace package (no __init__.py), so derive its root
+    # from this module's location instead of ``repro.__file__`` (None)
+    return Path(__file__).resolve().parent.parent
+
+
+def _compute() -> str:
+    digest = hashlib.sha256()
+    root = _package_root()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            # a vanishing source file (mid-rewrite) only perturbs the
+            # fingerprint, which is always safe — it can only cause misses
+            digest.update(b"<unreadable>")
+        digest.update(b"\0")
+    digest.update(f"python={platform.python_version()}".encode("utf-8"))
+    digest.update(f"sqlite={sqlite3.sqlite_version}".encode("utf-8"))
+    digest.update(os.environ.get("REPRO_STORE_FINGERPRINT_SALT", "").encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def code_fingerprint() -> str:
+    """Fingerprint of the ``repro`` package source (cached per process)."""
+    global _CACHED
+    if _CACHED is None:
+        _CACHED = _compute()
+    return _CACHED
+
+
+def reset_fingerprint_cache() -> None:
+    """Drop the cached fingerprint (tests change the salt between calls)."""
+    global _CACHED
+    _CACHED = None

@@ -1,0 +1,67 @@
+"""Canonical serialization for store keys and result-identity checks.
+
+Artifacts are addressed by the SHA-256 of a *canonical* rendering of their
+key, and suites are identified by the canonical rendering of their parsed
+records — not by ``pickle`` bytes, whose layout can vary with incidental
+object state (memo tables, lazily-populated counters).  The canonical form
+walks dataclasses field by field, skips private (``_``-prefixed) fields,
+renders enums by value, and emits sorted-key JSON, so two structurally equal
+objects always produce the same bytes in any process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def _jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload: dict[str, Any] = {"__dataclass__": type(value).__name__}
+        for field in dataclasses.fields(value):
+            if field.name.startswith("_"):
+                continue  # internal caches (e.g. FileResult counters) are not identity
+            payload[field.name] = _jsonable(getattr(value, field.name))
+        return payload
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(str(item) for item in value)}
+    if isinstance(value, float):
+        return {"__float__": value.hex()}  # exact, locale-independent
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    return {"__repr__": repr(value)}
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic bytes for a (possibly nested dataclass) value."""
+    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def key_digest(namespace: str, key: Any, fingerprint: str) -> str:
+    """Content address of one artifact: namespace + key + code fingerprint."""
+    digest = hashlib.sha256()
+    digest.update(namespace.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(fingerprint.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(canonical_bytes(key))
+    return digest.hexdigest()
+
+
+def suite_content_hash(suite: Any) -> str:
+    """Stable content hash of a parsed :class:`~repro.core.records.TestSuite`.
+
+    Two suites generated from the same profile/seed/scale in different
+    processes hash identically, which is what lets donor-run artifacts written
+    by one campaign be found by the next.
+    """
+    return hashlib.sha256(canonical_bytes(suite)).hexdigest()

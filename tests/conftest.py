@@ -13,6 +13,21 @@ from repro.adapters.minidb_adapter import MiniDBAdapter
 from repro.adapters.sqlite_adapter import SQLite3Adapter
 from repro.corpus import build_suite
 from repro.engine.session import Session
+from repro.store import ArtifactStore, set_default_store
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_store(tmp_path_factory):
+    """Point the default artifact store at a per-session temp directory.
+
+    Tests still exercise store-backed reuse (misses then hits within the
+    session), but never read stale artifacts from — or leak artifacts into —
+    the user-level ``~/.cache/repro-store``.
+    """
+    root = tmp_path_factory.mktemp("repro-store")
+    previous = set_default_store(ArtifactStore(root=root))
+    yield
+    set_default_store(previous)
 
 
 @pytest.fixture

@@ -1,0 +1,298 @@
+"""The persistent artifact store: correctness, resilience, and its two clients.
+
+The invariants pinned here are the ones that make disk-backed reuse safe to
+leave on by default:
+
+* corrupt or truncated artifacts are treated as misses (regenerate, never
+  crash) and are removed from disk,
+* a code-fingerprint bump invalidates every old entry,
+* concurrent writers cannot clobber each other (tmp + rename),
+* a warm ``run_matrix`` reproduces the storeless results byte-for-byte
+  (canonical serialization), and
+* ``store_disabled()`` / ``store=None`` really do force the storeless path.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.core.records import TestSuite
+from repro.core.transplant import run_matrix, run_transplant
+from repro.corpus import build_suite
+from repro.store import (
+    ArtifactStore,
+    canonical_bytes,
+    store_disabled,
+    suite_content_hash,
+)
+from repro.store.artifacts import STORE_FORMAT_VERSION
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(root=tmp_path / "store", fingerprint="test-fp")
+
+
+# -- core store behaviour ----------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_round_trip(self, store):
+        key = {"suite": "slt", "seed": 7}
+        assert store.load("ns", key) is None
+        assert store.save("ns", key, {"value": [1, 2, 3]})
+        assert store.load("ns", key) == {"value": [1, 2, 3]}
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.writes == 1
+
+    def test_distinct_keys_and_namespaces(self, store):
+        store.save("a", {"k": 1}, "first")
+        store.save("a", {"k": 2}, "second")
+        store.save("b", {"k": 1}, "third")
+        assert store.load("a", {"k": 1}) == "first"
+        assert store.load("a", {"k": 2}) == "second"
+        assert store.load("b", {"k": 1}) == "third"
+
+    def test_key_order_is_canonical(self, store):
+        store.save("ns", {"a": 1, "b": 2}, "value")
+        assert store.load("ns", {"b": 2, "a": 1}) == "value"
+
+    def test_memoize_produces_once(self, store):
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return "expensive"
+
+        assert store.memoize("ns", "key", producer) == "expensive"
+        assert store.memoize("ns", "key", producer) == "expensive"
+        assert len(calls) == 1
+
+    def test_truncated_artifact_is_a_miss(self, store):
+        key = {"seed": 1}
+        store.save("ns", key, list(range(1000)))
+        path = store.path_for("ns", key)
+        path.write_bytes(path.read_bytes()[:20])  # truncate mid-pickle
+        assert store.load("ns", key, default="fallback") == "fallback"
+        assert store.stats.errors == 1
+        assert not path.exists(), "corrupt artifact must be removed"
+        # and the slot is usable again
+        assert store.save("ns", key, "regenerated")
+        assert store.load("ns", key) == "regenerated"
+
+    def test_garbage_artifact_is_a_miss(self, store):
+        key = {"seed": 2}
+        store.save("ns", key, "value")
+        store.path_for("ns", key).write_bytes(b"not a pickle at all")
+        assert store.load("ns", key) is None
+        assert store.stats.errors == 1
+
+    def test_wrong_header_is_a_miss(self, store):
+        key = {"seed": 3}
+        path = store.path_for("ns", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps((STORE_FORMAT_VERSION + 1, "ns", "value")))
+        assert store.load("ns", key) is None
+        assert not path.exists()
+
+    def test_fingerprint_bump_invalidates(self, tmp_path):
+        root = tmp_path / "store"
+        old = ArtifactStore(root=root, fingerprint="version-1")
+        old.save("ns", {"seed": 7}, "old-artifact")
+        new = ArtifactStore(root=root, fingerprint="version-2")
+        assert new.load("ns", {"seed": 7}) is None, "new fingerprint must not see old entries"
+        assert old.load("ns", {"seed": 7}) == "old-artifact", "old entries stay addressable by old code"
+        new.save("ns", {"seed": 7}, "new-artifact")
+        assert new.load("ns", {"seed": 7}) == "new-artifact"
+        assert old.load("ns", {"seed": 7}) == "old-artifact"
+
+    def test_concurrent_writers_do_not_clobber(self, store):
+        barrier = threading.Barrier(8)
+
+        def writer(worker: int):
+            barrier.wait()
+            for round_number in range(10):
+                store.save("ns", {"slot": round_number % 3}, {"worker": worker, "round": round_number})
+            return True
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(writer, range(8)))
+        # whatever write won each slot, the artifact must be complete and valid
+        for slot in range(3):
+            value = store.load("ns", {"slot": slot})
+            assert isinstance(value, dict) and set(value) == {"worker", "round"}
+        assert store.stats.errors == 0
+        # no temp files left behind
+        leftovers = [path for path in (store.root).rglob(".tmp-*") if path.is_file()]
+        assert leftovers == []
+
+    def test_lru_eviction_drops_oldest(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store", max_bytes=1, fingerprint="fp")
+        store.save("ns", {"k": 1}, "x" * 100)  # immediately over budget
+        store.save("ns", {"k": 2}, "y" * 100)
+        assert store.stats.evictions >= 1
+        # the newest entry survives each sweep
+        assert store.load("ns", {"k": 2}) == "y" * 100
+
+    def test_eviction_keeps_recently_read_entries(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store", max_bytes=10_000, fingerprint="fp")
+        store.save("ns", {"k": "old"}, "o" * 3000)
+        store.save("ns", {"k": "mid"}, "m" * 3000)
+        older = store.path_for("ns", {"k": "old"})
+        middle = store.path_for("ns", {"k": "mid"})
+        os.utime(older, (1_000_000, 1_000_000))
+        os.utime(middle, (2_000_000, 2_000_000))
+        # a read freshens "old", so "mid" is now the LRU victim
+        assert store.load("ns", {"k": "old"}) is not None
+        store.save("ns", {"k": "new"}, "n" * 6000)  # pushes past max_bytes
+        assert not middle.exists()
+        assert older.exists()
+
+    def test_snapshot_shape(self, store):
+        store.save("ns", "k", "v")
+        store.load("ns", "k")
+        snapshot = store.snapshot()
+        assert snapshot["entries"] == 1
+        assert snapshot["bytes"] > 0
+        assert snapshot["hits"] == 1 and snapshot["writes"] == 1
+        assert 0.0 <= snapshot["hit_rate"] <= 1.0
+
+    def test_clear(self, store):
+        store.save("ns", "k", "v")
+        store.clear()
+        assert store.entry_count == 0
+        assert store.load("ns", "k") is None
+
+    def test_active_store_rejects_path_strings(self, store):
+        from repro.store import DEFAULT, active_store
+
+        assert active_store(None) is None
+        assert active_store(store) is store
+        assert active_store(DEFAULT) is not None
+        with pytest.raises(TypeError):
+            # a path string must not silently become the user-level default
+            active_store("/tmp/some-store-dir")
+
+
+# -- canonical serialization -------------------------------------------------------
+
+
+class TestCanonicalBytes:
+    def test_equal_suites_hash_equal(self):
+        first = build_suite("slt", file_count=2, records_per_file=15, seed=11, store=None)
+        second = build_suite("slt", file_count=2, records_per_file=15, seed=11, store=None)
+        assert first is not second
+        assert suite_content_hash(first) == suite_content_hash(second)
+
+    def test_different_seeds_hash_differently(self):
+        first = build_suite("slt", file_count=2, records_per_file=15, seed=11, store=None)
+        second = build_suite("slt", file_count=2, records_per_file=15, seed=12, store=None)
+        assert suite_content_hash(first) != suite_content_hash(second)
+
+    def test_private_fields_do_not_change_identity(self):
+        from repro.core.runner import FileResult
+
+        untouched = FileResult(path="p", suite="slt", host="sqlite")
+        counted = FileResult(path="p", suite="slt", host="sqlite")
+        counted.count  # noqa: B018 - populate the lazy counter state
+        assert canonical_bytes(untouched) == canonical_bytes(counted)
+
+    def test_floats_are_exact(self):
+        assert canonical_bytes(0.1) != canonical_bytes(0.1 + 1e-17) or (0.1 == 0.1 + 1e-17)
+        assert canonical_bytes(1.5) == canonical_bytes(1.5)
+
+
+# -- the corpus client -------------------------------------------------------------
+
+
+class TestCorpusStore:
+    def test_build_suite_loads_instead_of_regenerating(self, store):
+        first = build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        assert store.stats.writes >= 1
+        second = build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        assert store.stats.hits >= 1
+        assert canonical_bytes(first) == canonical_bytes(second)
+        assert isinstance(second, TestSuite)
+
+    def test_different_parameters_miss(self, store):
+        build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        hits_before = store.stats.hits
+        build_suite("slt", file_count=3, records_per_file=20, seed=5, store=store)
+        build_suite("slt", file_count=2, records_per_file=20, seed=6, store=store)
+        assert store.stats.hits == hits_before
+
+    def test_store_disabled_bypasses(self, store):
+        build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        lookups_before = store.stats.lookups
+        with store_disabled():
+            build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        assert store.stats.lookups == lookups_before
+
+    def test_corrupt_suite_artifact_regenerates(self, store):
+        reference = build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        for path in store.root.rglob("*.pkl"):
+            path.write_bytes(b"corrupt")
+        rebuilt = build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        assert canonical_bytes(rebuilt) == canonical_bytes(reference)
+        assert store.stats.errors >= 1
+
+
+# -- the transplant client ---------------------------------------------------------
+
+
+class TestDonorRunStore:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return build_suite("slt", file_count=2, records_per_file=25, seed=9, store=None)
+
+    def test_donor_run_is_memoized(self, store, suite):
+        first = run_transplant(suite, "sqlite", store=store)
+        assert store.stats.writes == 1
+        second = run_transplant(suite, "sqlite", store=store)
+        assert store.stats.hits == 1
+        assert canonical_bytes(first) == canonical_bytes(second)
+
+    def test_cross_host_runs_are_not_memoized(self, store, suite):
+        run_transplant(suite, "duckdb", store=store)
+        assert store.stats.lookups == 0
+        assert store.stats.writes == 0
+
+    def test_explicit_adapter_bypasses_store(self, store, suite):
+        from repro.adapters.registry import create_adapter
+
+        adapter = create_adapter("sqlite")
+        adapter.setup()
+        try:
+            run_transplant(suite, "sqlite", adapter=adapter, store=store)
+        finally:
+            adapter.teardown()
+        assert store.stats.lookups == 0
+
+    def test_warm_matrix_byte_identical_to_storeless(self, store, suite):
+        suites = {suite.name: suite}
+        with store_disabled():
+            reference = run_matrix(suites, store=store)
+        cold = run_matrix(suites, store=store)
+        warm = run_matrix(suites, store=store)
+        assert store.stats.hits >= 1, "second campaign must hit the stored donor run"
+        assert set(reference.entries) == set(cold.entries) == set(warm.entries)
+        for key in reference.entries:
+            expected = canonical_bytes(reference.entries[key].result)
+            assert canonical_bytes(cold.entries[key].result) == expected
+            assert canonical_bytes(warm.entries[key].result) == expected
+
+    def test_warm_translated_matrix_reuses_stored_donor_runs(self, store, suite):
+        suites = {suite.name: suite}
+        plain = run_matrix(suites, store=store)
+        hits_before = store.stats.hits
+        translated = run_matrix(suites, translate_dialect=True, reuse_donor_runs_from=plain, store=store)
+        # donor cells of the translated campaign come from the in-memory
+        # matrix, not the store; the store hit count is unchanged
+        assert store.stats.hits == hits_before
+        assert translated.get(suite.name, "sqlite").result.total_cases == plain.get(suite.name, "sqlite").result.total_cases
