@@ -14,6 +14,7 @@ changes have a trajectory to regress against (see scripts/bench_compare.py).
 """
 
 import os
+import pickle
 import time
 
 from _harness import update_pipeline_report
@@ -44,6 +45,12 @@ MIN_STORE_SPEEDUP = float(os.environ.get("BENCH_MIN_STORE_SPEEDUP", "1.5"))
 #: flavours (real sqlite3 for SLT, MiniDB recording for PostgreSQL) weigh in.
 STORE_CAMPAIGN_SUITES = (("slt", 6, 80), ("postgres", 4, 40))
 STORE_CAMPAIGN_SEED = 42
+
+#: Floor for the warm *full-matrix* replay (every cell persisted) vs the cold
+#: pass, and for how much smaller codec payloads must be than whole-object
+#: pickles of the same cells.
+MIN_MATRIX_WARM_SPEEDUP = float(os.environ.get("BENCH_MIN_MATRIX_WARM_SPEEDUP", "3.0"))
+MIN_CODEC_COMPRESSION = float(os.environ.get("BENCH_MIN_CODEC_COMPRESSION", "5.0"))
 
 
 def _analysis_pass(suite):
@@ -268,4 +275,102 @@ def test_pipeline_store_warm_vs_cold(benchmark, tmp_path):
     assert speedup >= MIN_STORE_SPEEDUP, (
         f"warm-store campaign must be at least {MIN_STORE_SPEEDUP}x faster than the "
         f"cold pass (got {speedup:.2f}x)"
+    )
+
+
+def test_pipeline_matrix_warm_full_matrix(benchmark, tmp_path):
+    """The headline PR 4 measurement: a warm **full matrix** replays every
+    cell — donor runs *and* cross-host transplants, plain *and* translated —
+    from the store without touching an adapter.
+
+    Asserted here (and recorded as ``pipeline_matrix_warm``):
+
+    * the warm replay is >= ``MIN_MATRIX_WARM_SPEEDUP`` faster than the cold
+      execution pass,
+    * codec payloads undercut whole-object pickles of the same cells by
+      >= ``MIN_CODEC_COMPRESSION``,
+    * warm results are byte-identical (canonical serialization) to storeless
+      runs with ``workers=1`` and ``workers=4``.
+    """
+    store = ArtifactStore(root=tmp_path / "repro-store")
+    suites = {
+        name: build_suite(name, file_count=file_count, records_per_file=records, seed=STORE_CAMPAIGN_SEED, store=None)
+        for name, file_count, records in STORE_CAMPAIGN_SUITES
+    }
+
+    def full_matrix(workers=1):
+        plain = run_matrix(suites, store=store, workers=workers)
+        translated = run_matrix(suites, store=store, translate_dialect=True, workers=workers)
+        return plain, translated
+
+    perf_cache.clear_caches()
+    cold_wall, cold_result = _timed_min_of(1, full_matrix)
+
+    warm_first, _ = _timed_min_of(1, full_matrix)
+    started = time.perf_counter()
+    warm_result = benchmark.pedantic(full_matrix, rounds=1, iterations=1)
+    warm_wall = min(warm_first, time.perf_counter() - started)
+
+    warm_sharded_wall, warm_sharded_result = _timed_min_of(1, lambda: full_matrix(workers=CAMPAIGN_WORKERS))
+
+    with store_disabled():
+        storeless_result = full_matrix()
+
+    reference = _matrix_result_bytes(storeless_result)
+    assert _matrix_result_bytes(warm_result) == reference, (
+        "warm full-matrix replay (workers=1) must be byte-identical to the storeless run"
+    )
+    assert _matrix_result_bytes(warm_sharded_result) == reference, (
+        f"warm full-matrix replay (workers={CAMPAIGN_WORKERS}) must be byte-identical to the storeless run"
+    )
+    assert _campaign_counts(cold_result) == _campaign_counts(warm_result)
+
+    # payload compactness: stored codec bytes vs pickles of the same cells.
+    # Cells are deduped by stored-artifact identity first: donor runs are
+    # keyed without the translate flag (translation is the identity there),
+    # so the translated matrix's donor cells reuse the plain matrix's
+    # artifacts and must not be pickled twice on the comparison side.
+    distinct_cells = {}
+    for translated, matrix in zip((False, True), cold_result):
+        for entry in matrix.entries.values():
+            artifact_key = (entry.suite, entry.host, False if entry.is_donor_run else translated)
+            distinct_cells[artifact_key] = entry
+    cell_count = len(distinct_cells)
+    pickle_bytes = sum(len(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)) for entry in distinct_cells.values())
+    namespaces = store.namespace_stats()
+    codec_bytes = sum(namespaces.get(name, {}).get("bytes", 0) for name in ("donor-runs", "matrix-cells"))
+    compression = pickle_bytes / codec_bytes if codec_bytes else float("inf")
+
+    speedup = cold_wall / warm_wall if warm_wall else float("inf")
+    update_pipeline_report(
+        {
+            "pipeline_matrix_warm": {
+                "suites": [name for name, _, _ in STORE_CAMPAIGN_SUITES],
+                "hosts": list(DEFAULT_HOSTS),
+                "cells": cell_count,
+                "records": _total_records(cold_result),
+                "cold_wall_s": round(cold_wall, 4),
+                "warm_wall_s": round(warm_wall, 4),
+                "warm_sharded_wall_s": round(warm_sharded_wall, 4),
+                "speedup_warm_vs_cold": round(speedup, 3),
+                "min_speedup_required": MIN_MATRIX_WARM_SPEEDUP,
+                "payload_bytes_per_cell": round(codec_bytes / cell_count) if cell_count else None,
+                "pickle_bytes_per_cell": round(pickle_bytes / cell_count) if cell_count else None,
+                "speedup_codec_vs_pickle_bytes": round(compression, 3),
+                "min_codec_compression_required": MIN_CODEC_COMPRESSION,
+                "store_stats": {key: value for key, value in store.snapshot().items() if key != "root"},
+            }
+        }
+    )
+    print(
+        f"\nfull matrix ({cell_count} cells): cold {cold_wall:.3f}s, warm {warm_wall:.3f}s "
+        f"(speedup {speedup:.2f}x); codec {codec_bytes}B vs pickle {pickle_bytes}B ({compression:.1f}x smaller)"
+    )
+    assert speedup >= MIN_MATRIX_WARM_SPEEDUP, (
+        f"warm full-matrix replay must be at least {MIN_MATRIX_WARM_SPEEDUP}x faster "
+        f"than cold (got {speedup:.2f}x)"
+    )
+    assert compression >= MIN_CODEC_COMPRESSION, (
+        f"codec payloads must be at least {MIN_CODEC_COMPRESSION}x smaller than "
+        f"whole-object pickles (got {compression:.2f}x)"
     )

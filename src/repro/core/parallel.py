@@ -30,6 +30,16 @@ process, consecutive shards — and, when a campaign shares a persistent
 same live adapter instead of rebuilding it.  Reset-on-acquire keeps every
 shard starting from a pristine database.
 
+Workers are also **store-aware**: when the campaign runs against an
+:class:`~repro.store.ArtifactStore`, every shard carries a reference to it —
+thread workers share the live (thread-safe) store itself, process workers
+re-open it from a picklable :class:`StoreSpec` (:func:`_worker_store`) — and
+each file is served from the ``file-results`` namespace — compact codec
+payloads keyed by file content + runner configuration — before an adapter is
+even acquired.  Warm shards therefore execute nothing, and the per-file
+results they persist are exactly what a later campaign (or a later shard of
+this one) loads.
+
 One determinism caveat: a MiniDB session's random() state persists across
 files in a serial run but is re-seeded in each worker's fresh adapter.  The
 generated corpora never invoke nondeterministic SQL functions, so shard merges
@@ -38,6 +48,7 @@ are byte-identical; suites that do use random() should run with ``workers=1``.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import threading
@@ -53,6 +64,9 @@ from repro.core.records import TestFile, TestSuite
 from repro.errors import AdapterNotFoundError, ShardExecutionError
 from repro.core.runner import FileResult, SuiteResult, TestRunner
 from repro.perf import cache as perf_cache
+from repro.store import codec as result_codec
+from repro.store.artifacts import ArtifactStore
+from repro.store.keys import content_hash
 
 #: exception types that signal worker-pool *infrastructure* failure (rather
 #: than a genuine error inside a shard); both trigger thread degradation
@@ -108,6 +122,60 @@ def _reset_worker_adapter_pool() -> None:
         _WORKER_POOL_LOCAL.pool = None
         with _WORKER_POOL_REGISTRY_LOCK:
             _WORKER_POOL_REGISTRY[:] = [entry for entry in _WORKER_POOL_REGISTRY if entry[1] is not pool]
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """A picklable recipe for re-opening a campaign's :class:`ArtifactStore`.
+
+    Live stores hold locks and cannot travel to process-pool workers; the
+    spec carries just the addressing inputs (root, budget, and — crucially —
+    the submitting process's code fingerprint, so workers and parent address
+    identical keys even under a test fingerprint override).
+    """
+
+    root: str
+    max_bytes: int
+    fingerprint: str
+
+
+def store_spec_for(store: "ArtifactStore | None") -> StoreSpec | None:
+    """Describe ``store`` for shipping to workers (None stays None)."""
+    if store is None:
+        return None
+    return StoreSpec(root=str(store.root), max_bytes=store.max_bytes, fingerprint=store.fingerprint)
+
+
+#: per-process cache of worker-side stores, keyed by spec: every shard of a
+#: campaign — and every campaign aimed at the same root — shares one instance
+#: (ArtifactStore is thread-safe, so thread-flavour workers share it too)
+_WORKER_STORES: dict[StoreSpec, ArtifactStore] = {}
+_WORKER_STORES_LOCK = threading.Lock()
+
+
+def _worker_store(spec: StoreSpec | None) -> ArtifactStore | None:
+    if spec is None:
+        return None
+    with _WORKER_STORES_LOCK:
+        store = _WORKER_STORES.get(spec)
+        if store is None:
+            store = ArtifactStore(root=spec.root, max_bytes=spec.max_bytes, fingerprint=spec.fingerprint)
+            _WORKER_STORES[spec] = store
+        return store
+
+
+def _file_result_key(spec: "RunnerSpec", test_file: TestFile) -> dict:
+    """Store key of one file's results under one runner configuration.
+
+    Keyed on the *file's* content (not the whole suite's), so a campaign
+    whose suite gained or lost files still reuses every unchanged file.
+    ``content_hash`` memoizes per file object, so repeat sharded runs in one
+    process (plain + translated matrices, warm replays) hash each file once.
+    """
+    return {
+        "file_hash": content_hash(test_file),
+        "spec": dataclasses.asdict(spec),
+    }
 
 
 @dataclass(frozen=True)
@@ -193,6 +261,7 @@ def _run_shard(
     shard: list[tuple[int, TestFile]],
     caching: bool = True,
     collect_stats: bool = True,
+    store_ref: "ArtifactStore | StoreSpec | None" = None,
 ) -> tuple[list[tuple[int, FileResult]], dict]:
     """Worker entry point: run one chunk of files on a pooled adapter.
 
@@ -202,23 +271,69 @@ def _run_shard(
     once around the whole run instead.  The adapter comes from (and returns
     to) this process's :func:`worker_adapter_pool`, so a persistent worker
     serves its next shard — or next suite — on the same live instance.
+
+    ``store_ref`` makes the shard **store-aware**: each file's results are
+    served from the ``file-results`` namespace (codec payloads keyed by file
+    content + runner config) before touching an adapter; misses execute and
+    persist.  A shard whose every file is warm never acquires an adapter at
+    all.  Thread workers receive the campaign's live (thread-safe)
+    :class:`ArtifactStore` — one instance, one set of stats and byte
+    estimates; process workers receive a :class:`StoreSpec` and re-open the
+    store on their side.
     """
     perf_cache.set_caching(caching)
     before = perf_cache.cache_stats() if collect_stats else {}
+    store = store_ref if isinstance(store_ref, ArtifactStore) else _worker_store(store_ref)
+    store_hits = store_misses = 0
     pool = worker_adapter_pool()
-    adapter = pool.acquire(spec.adapter_name, **dict(spec.adapter_kwargs))
-    runner = spec.make_runner(adapter)
+    adapter = None
+    runner = None
     try:
-        results = [(index, runner.run_file(test_file)) for index, test_file in shard]
+        results: list[tuple[int, FileResult]] = []
+        for index, test_file in shard:
+            key = None
+            if store is not None:
+                key = _file_result_key(spec, test_file)
+                cached = store.load("file-results", key)
+                if cached is not None:
+                    try:
+                        results.append((index, result_codec.decode_file_result(cached, test_file)))
+                        store_hits += 1
+                        continue
+                    except result_codec.CodecError:
+                        pass  # stale or garbled payload: execute and overwrite
+                store_misses += 1
+            if adapter is None:
+                adapter = pool.acquire(spec.adapter_name, **dict(spec.adapter_kwargs))
+                runner = spec.make_runner(adapter)
+            file_result = runner.run_file(test_file)
+            results.append((index, file_result))
+            if key is not None:
+                try:
+                    store.save("file-results", key, result_codec.encode_file_result(file_result, test_file))
+                except result_codec.CodecError:
+                    pass  # unencodable file result: reuse simply does not extend to it
     except Exception as error:
         # an adapter whose shard blew up is not trustworthy: tear it down
         # instead of re-pooling it, and wrap the error so the submitting
         # process can tell a genuine in-shard failure from pool
         # infrastructure breakage (which degrades to threads)
-        pool.discard(adapter)
+        if adapter is not None:
+            pool.discard(adapter)
         raise ShardExecutionError(f"{type(error).__name__}: {error}") from error
-    pool.release(adapter)
+    if adapter is not None:
+        pool.release(adapter)
     stats = _stats_delta(before, perf_cache.cache_stats()) if collect_stats else {}
+    if store is not None:
+        # unlike the perf-cache deltas, these counters are shard-local, so
+        # they are valid for thread workers too (no cross-thread overlap)
+        lookups = store_hits + store_misses
+        stats["store-files"] = {
+            "hits": store_hits,
+            "misses": store_misses,
+            "evictions": 0,
+            "hit_rate": round(store_hits / lookups, 4) if lookups else 0.0,
+        }
     return results, stats
 
 
@@ -264,10 +379,10 @@ class WorkerPool:
         self.shutdown()
         self.flavour = "thread"
 
-    def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool):
+    def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool, store_ref=None):
         """Submit every shard and gather ``(indexed_results, stats)`` pairs."""
         pool = self._ensure()
-        futures = [pool.submit(_run_shard, spec, shard, caching, collect_stats) for shard in shards]
+        futures = [pool.submit(_run_shard, spec, shard, caching, collect_stats, store_ref) for shard in shards]
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
@@ -287,11 +402,14 @@ class WorkerPool:
         self.shutdown()
 
 
-def _run_with_pool(worker_pool: WorkerPool, suite: TestSuite, spec: RunnerSpec, workers: int):
+def _run_with_pool(worker_pool: WorkerPool, suite: TestSuite, spec: RunnerSpec, workers: int, store: "ArtifactStore | None" = None):
     collect_stats = worker_pool.flavour == "process"
     shards = _shards(suite, min(workers, worker_pool.workers))
     caching = perf_cache.caching_enabled()
-    outcomes = worker_pool.map_shards(spec, shards, caching, collect_stats)
+    # thread workers share this process: hand them the live store (one stats
+    # and byte-estimate authority); process workers get a picklable spec
+    store_ref = store if worker_pool.flavour == "thread" else store_spec_for(store)
+    outcomes = worker_pool.map_shards(spec, shards, caching, collect_stats, store_ref)
     indexed_results = [item for results, _ in outcomes for item in results]
     worker_stats = perf_cache.merge_stats(*(stats for _, stats in outcomes))
     return _merge(suite, spec, indexed_results), worker_stats
@@ -303,6 +421,7 @@ def run_suite_sharded(
     workers: int = 1,
     executor: str = "auto",
     worker_pool: WorkerPool | None = None,
+    store: "ArtifactStore | None" = None,
 ) -> ShardedRunReport:
     """Run ``suite`` as per-file shards on a ``workers``-wide pool.
 
@@ -311,7 +430,9 @@ def run_suite_sharded(
     degrade to the threaded pool; ``workers <= 1`` or an empty suite runs
     serially in-process.  Passing a :class:`WorkerPool` keeps the executor —
     and each worker's adapter pool — alive across calls (campaign reuse); the
-    caller owns its shutdown.
+    caller owns its shutdown.  Passing the campaign's :class:`ArtifactStore`
+    makes every worker store-aware (see :func:`_run_shard`): warm per-file
+    results are loaded instead of executed, shard by shard.
     """
     if workers <= 1 or len(suite.files) <= 1:
         before = perf_cache.cache_stats()
@@ -336,7 +457,7 @@ def run_suite_sharded(
     try:
         if worker_pool.flavour == "process":
             try:
-                result, worker_stats = _run_with_pool(worker_pool, suite, spec, workers)
+                result, worker_stats = _run_with_pool(worker_pool, suite, spec, workers, store)
                 # worker processes accumulated cache activity in their own
                 # address space; fold it into this process's counters so
                 # cache_stats() reports total pipeline activity
@@ -349,14 +470,19 @@ def run_suite_sharded(
                 worker_pool.degrade_to_threads()
 
         # thread workers share this process's caches: per-shard deltas would
-        # overlap, so stats are measured once around the whole run instead
+        # overlap, so cache stats are measured once around the whole run.
+        # The store-files counters are shard-local (see _run_shard) and stay
+        # valid, so that bucket is folded into the report from the workers.
         before = perf_cache.cache_stats()
-        result, _ = _run_with_pool(worker_pool, suite, spec, workers)
+        result, worker_stats = _run_with_pool(worker_pool, suite, spec, workers, store)
+        cache_stats = _stats_delta(before, perf_cache.cache_stats())
+        if "store-files" in worker_stats:
+            cache_stats["store-files"] = worker_stats["store-files"]
         return ShardedRunReport(
             result=result,
             workers=workers,
             executor="thread",
-            cache_stats=_stats_delta(before, perf_cache.cache_stats()),
+            cache_stats=cache_stats,
         )
     finally:
         if owns_pool:

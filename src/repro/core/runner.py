@@ -239,7 +239,7 @@ class TestRunner:
                 crashed = True
         return file_result
 
-    def run_suite(self, suite: TestSuite, workers: int = 1, executor: str = "auto", worker_pool=None) -> SuiteResult:
+    def run_suite(self, suite: TestSuite, workers: int = 1, executor: str = "auto", worker_pool=None, store=None) -> SuiteResult:
         """Execute every file of ``suite``, each from a clean database.
 
         With ``workers > 1`` the suite is split into per-file shards executed
@@ -249,13 +249,18 @@ class TestRunner:
         worker (no registry entry).  ``worker_pool`` (a
         :class:`repro.core.parallel.WorkerPool`) lets a campaign share one
         persistent pool — and its per-worker adapters — across suites.
+        ``store`` (an :class:`~repro.store.ArtifactStore`) makes those workers
+        store-aware: each shard serves already-persisted per-file results from
+        the store instead of re-executing them.
         """
         if workers > 1 and len(suite.files) > 1:
             from repro.core.parallel import runner_spec_for, run_suite_sharded
 
             spec = runner_spec_for(self)
             if spec is not None:
-                return run_suite_sharded(suite, spec, workers=workers, executor=executor, worker_pool=worker_pool).result
+                return run_suite_sharded(
+                    suite, spec, workers=workers, executor=executor, worker_pool=worker_pool, store=store
+                ).result
         suite_result = SuiteResult(suite=suite.name, host=self.host_name)
         for test_file in suite.files:
             suite_result.files.append(self.run_file(test_file))

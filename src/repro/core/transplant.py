@@ -15,9 +15,10 @@ from repro.adapters.faults import FaultReport, FaultSummary
 from repro.adapters.pool import AdapterPool
 from repro.adapters.registry import create_adapter
 from repro.core.records import TestSuite
-from repro.core.runner import RecordOutcome, SuiteResult, TestRunner
+from repro.core.runner import SuiteResult, TestRunner
 from repro.perf import cache as perf_cache
 from repro.store import artifacts as artifact_store
+from repro.store import codec as result_codec
 from repro.store.keys import suite_content_hash
 
 #: Host names used throughout the experiments, in the paper's column order.
@@ -91,6 +92,36 @@ def _donor_run_key(
     }
 
 
+def _matrix_cell_key(
+    suite: TestSuite,
+    host: str,
+    donor: str,
+    float_tolerance: float,
+    translate_dialect: bool,
+    available_extensions: set[str],
+    max_records_per_file: int | None,
+    adapter_kwargs: dict | None = None,
+) -> dict:
+    """Store key of one off-diagonal matrix cell.
+
+    Unlike donor runs, cross-host cells *are* sensitive to the translator
+    switch (``translate_dialect``) and to the donor dialect the translator
+    reads from, so both join the key.  ``workers`` stays excluded: sharded
+    execution merges to the exact serial result.
+    """
+    return {
+        "suite_hash": suite_content_hash(suite),
+        "suite": suite.name,
+        "host": host,
+        "donor": donor,
+        "translate": bool(translate_dialect),
+        "float_tolerance": float_tolerance,
+        "extensions": sorted(available_extensions),
+        "max_records_per_file": max_records_per_file,
+        "adapter_kwargs": dict(adapter_kwargs or {}),
+    }
+
+
 def run_transplant(
     suite: TestSuite,
     host: str,
@@ -116,23 +147,38 @@ def run_transplant(
     workers — and their per-worker adapters — alive across the transplants of
     one campaign; ``run_matrix`` wires up both.
 
-    **Donor runs are memoized on disk**: when ``host`` is the suite's donor
-    (and no caller-built ``adapter`` overrides the default), the whole
-    :class:`TransplantResult` is served from the artifact store when an
-    identical suite was already recorded — by this process or any earlier one.
-    ``store=None`` or :func:`repro.store.store_disabled` restores the always-
-    execute path.
+    **Every matrix cell is memoized on disk** (unless a caller-built
+    ``adapter`` overrides the default): donor-on-donor runs live in the
+    ``donor-runs`` namespace (keyed without ``translate_dialect`` — it is the
+    identity there) and cross-host cells in ``matrix-cells`` (keyed with it).
+    Payloads are compact codec frames (:mod:`repro.store.codec`), not pickles:
+    records are reattached from the live suite on load, so a warm campaign
+    replays the full matrix without touching an adapter.  ``store=None`` or
+    :func:`repro.store.store_disabled` restores the always-execute path.
     """
     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
     if available_extensions is None:
         available_extensions = DEFAULT_EXTENSIONS.get(host, set()) if donor == host else set()
     backing = artifact_store.active_store(store) if adapter is None else None
-    memo_key = None
-    if backing is not None and donor == host:
-        memo_key = _donor_run_key(suite, host, float_tolerance, available_extensions, max_records_per_file)
-        cached = backing.load("donor-runs", memo_key)
-        if isinstance(cached, TransplantResult):
-            return cached
+    memo = None
+    if backing is not None:
+        if donor == host:
+            memo = ("donor-runs", _donor_run_key(suite, host, float_tolerance, available_extensions, max_records_per_file))
+        else:
+            memo = (
+                "matrix-cells",
+                _matrix_cell_key(
+                    suite, host, donor, float_tolerance, translate_dialect, available_extensions, max_records_per_file
+                ),
+            )
+        cached = backing.load(*memo)
+        if cached is not None:
+            try:
+                return result_codec.decode_transplant_result(cached, suite)
+            except result_codec.CodecError:
+                # pre-codec pickle, version bump, or garbled payload: recompute
+                # (the save below overwrites the stale entry)
+                pass
     # mirrors TestRunner.run_suite's guard: only multi-file suites shard
     sharded = workers > 1 and len(suite.files) > 1
     leased = False
@@ -170,22 +216,22 @@ def run_transplant(
             # back to executing serially on this very instance — connect it
             adapter.setup()
     try:
-        suite_result = runner.run_suite(suite, workers=workers, executor=executor, worker_pool=worker_pool)
+        suite_result = runner.run_suite(
+            suite, workers=workers, executor=executor, worker_pool=worker_pool, store=backing
+        )
     finally:
         if leased:
             pool.release(adapter)
 
-    crashes: list[FaultReport] = []
-    hangs: list[FaultReport] = []
-    for file_result in suite_result.files:
-        for record_result in file_result.results:
-            if record_result.outcome is RecordOutcome.CRASH:
-                crashes.append(FaultReport(dbms=host, kind="crash", statement=record_result.sql, message=record_result.error))
-            elif record_result.outcome is RecordOutcome.HANG:
-                hangs.append(FaultReport(dbms=host, kind="hang", statement=record_result.sql, message=record_result.error))
+    crashes, hangs = result_codec.fault_reports_for(suite_result, host)
     transplant_result = TransplantResult(suite=suite.name, host=host, donor=donor, result=suite_result, crashes=crashes, hangs=hangs)
-    if memo_key is not None:
-        backing.save("donor-runs", memo_key, transplant_result)
+    if memo is not None:
+        try:
+            payload = result_codec.encode_transplant_result(transplant_result, suite)
+        except result_codec.CodecError:
+            payload = None  # unencodable cell (foreign records): skip persisting
+        if payload is not None:
+            backing.save(*memo, payload)
     return transplant_result
 
 
@@ -253,9 +299,10 @@ def run_matrix(
     :class:`~repro.experiments.context.ExperimentContext` guarantees), or the
     reused cells reflect the old parameters.
 
-    ``store`` extends that reuse across processes: donor-run cells are served
-    from the persistent artifact store (see :func:`run_transplant`), so a
-    repeated campaign only executes the cross-host cells.
+    ``store`` extends that reuse across processes: *every* cell — donor runs
+    and cross-host transplants alike — is served from the persistent artifact
+    store (see :func:`run_transplant`), so a repeated campaign with all cells
+    persisted replays the whole matrix without executing anything.
     """
     from repro.core.parallel import WorkerPool
 

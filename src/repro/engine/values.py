@@ -145,6 +145,9 @@ def to_number(value: Any, strict: bool = True) -> int | float | None:
     """
     if value is None:
         return None
+    kind = type(value)
+    if kind is int or kind is float:  # exact types: bool (int subclass) falls through
+        return value
     if isinstance(value, bool):
         return int(value)
     if isinstance(value, (int, float)):
@@ -261,6 +264,21 @@ def compare_values(left: Any, right: Any) -> int | None:
     """
     if left is None or right is None:
         return None
+    # exact-type fast paths for the two dominant comparisons (int vs int in
+    # predicates and ORDER BY, str vs str in text columns); ``type`` keeps
+    # bools out (bool is an int subclass but must compare numerically below),
+    # and native int comparison is also exact beyond 2**53 where the float
+    # route rounds
+    left_type = type(left)
+    right_type = type(right)
+    if left_type is int and right_type is int:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+    if left_type is str and right_type is str:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
     left_num = isinstance(left, (int, float, bool))
     right_num = isinstance(right, (int, float, bool))
     if left_num and right_num:
@@ -307,14 +325,21 @@ def render_value(value: Any, style: str = "python") -> str:
     """
     if value is None:
         return "NULL"
+    # exact-type fast paths first (TEXT and INTEGER dominate rendered results);
+    # isinstance re-checks below keep subclasses on the seed behaviour
+    kind = type(value)
+    if kind is str:
+        return value
+    if kind is int:
+        return str(value)
+    if kind is float:
+        # Python's repr: integral floats keep their .0 (10.0 -> '10.0')
+        return repr(value)
     if isinstance(value, bool):
         if style == "psql":
             return "t" if value else "f"
         return "True" if value else "False"
     if isinstance(value, float):
-        if value == int(value) and abs(value) < 1e16:
-            # match Python's repr for integral floats: 4999.5 stays, 10.0 -> 10.0
-            return repr(value)
         return repr(value)
     if isinstance(value, int):
         return str(value)

@@ -1,8 +1,14 @@
-"""Command line: ``python -m repro.experiments [experiment-id ...] [--scale S] [--seed N]``."""
+"""Command line: ``python -m repro.experiments [experiment-id ...] [--scale S] [--seed N]``.
+
+``python -m repro.experiments store {stats,gc,clear}`` manages the persistent
+artifact store (inspect footprint, trim to budget, wipe) without deleting
+``~/.cache/repro-store`` blindly.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.context import ExperimentContext
@@ -26,7 +32,78 @@ def _print_adapters() -> None:
         print(f"{entry.name:12s} {entry.description}{aliases}")
 
 
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def store_main(argv: list[str]) -> int:
+    """``python -m repro.experiments store {stats,gc,clear}``."""
+    from repro.store import ArtifactStore, get_default_store
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments store",
+        description="Inspect and maintain the persistent artifact store (see docs/STORE.md)",
+    )
+    parser.add_argument("action", choices=("stats", "gc", "clear"), help="stats: footprint + counters; gc: recount and evict to budget; clear: delete every artifact")
+    parser.add_argument("--store-dir", default=None, metavar="PATH", help="store root (default: $REPRO_STORE_DIR or ~/.cache/repro-store)")
+    parser.add_argument("--max-bytes", type=int, default=None, metavar="N", help="gc only: trim to N bytes instead of the store's steady-state budget")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    arguments = parser.parse_args(argv)
+    if arguments.max_bytes is not None and arguments.max_bytes <= 0:
+        parser.error("--max-bytes must be positive")
+
+    store = ArtifactStore(root=arguments.store_dir) if arguments.store_dir else get_default_store()
+
+    if arguments.action == "stats":
+        payload = store.snapshot()
+        payload["namespaces"] = store.namespace_stats()
+        payload["max_bytes"] = store.max_bytes
+        if arguments.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"store root:  {payload['root']}")
+            print(f"entries:     {payload['entries']}")
+            print(f"bytes:       {_format_bytes(payload['bytes'])} (budget {_format_bytes(store.max_bytes)})")
+            print(f"this-process counters: hits={payload['hits']} misses={payload['misses']} writes={payload['writes']} evictions={payload['evictions']} errors={payload['errors']}")
+            if payload["namespaces"]:
+                print("namespaces:")
+                for namespace, bucket in payload["namespaces"].items():
+                    print(f"  {namespace:15s} {bucket['entries']:6d} entries  {_format_bytes(bucket['bytes'])}")
+            else:
+                print("namespaces:  (empty)")
+        return 0
+
+    if arguments.action == "gc":
+        summary = store.gc(max_bytes=arguments.max_bytes)
+        if arguments.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(
+                f"gc: {_format_bytes(summary['bytes_before'])} -> {_format_bytes(summary['bytes_after'])} "
+                f"({summary['evicted']} evicted, budget {_format_bytes(summary['max_bytes'])})"
+            )
+        return 0
+
+    # clear
+    entries = store.entry_count
+    store.clear()
+    if arguments.json:
+        print(json.dumps({"cleared": entries}))
+    else:
+        print(f"cleared {entries} artifact(s) from {store.root}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(description="Run SQuaLity reproduction experiments (tables and figures)")
     parser.add_argument("experiments", nargs="*", default=[], help="experiment ids (default: all); e.g. table4 figure2 bugs")
     parser.add_argument("--scale", type=float, default=1.0, help="corpus scale factor (default 1.0)")

@@ -23,10 +23,22 @@ from repro.store.artifacts import (
     store_disabled,
     store_enabled,
 )
+from repro.store.codec import (
+    CODEC_VERSION,
+    CodecError,
+    decode_file_result,
+    decode_suite_result,
+    decode_transplant_result,
+    encode_file_result,
+    encode_suite_result,
+    encode_transplant_result,
+)
 from repro.store.fingerprint import code_fingerprint, reset_fingerprint_cache
-from repro.store.keys import canonical_bytes, key_digest, suite_content_hash
+from repro.store.keys import canonical_bytes, content_hash, key_digest, suite_content_hash
 
 __all__ = [
+    "CODEC_VERSION",
+    "CodecError",
     "DEFAULT",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_ROOT",
@@ -35,6 +47,13 @@ __all__ = [
     "active_store",
     "canonical_bytes",
     "code_fingerprint",
+    "content_hash",
+    "decode_file_result",
+    "decode_suite_result",
+    "decode_transplant_result",
+    "encode_file_result",
+    "encode_suite_result",
+    "encode_transplant_result",
     "get_default_store",
     "key_digest",
     "reset_fingerprint_cache",

@@ -144,8 +144,11 @@ class ArtifactStore:
                 self.stats.misses += 1
             return default
         except Exception:
-            # unreadable, truncated, or unpicklable: behave as if it never existed
-            self._discard(path)
+            # unreadable, truncated, or unpicklable: behave as if it never
+            # existed.  The deletion is counted against the running byte
+            # estimate — corruption-as-miss deletions used to leave the
+            # estimate above disk truth, drifting further with every one.
+            self._discard_counted(path)
             with self._lock:
                 self.stats.errors += 1
                 self.stats.misses += 1
@@ -217,8 +220,9 @@ class ArtifactStore:
             entries.append((stat.st_mtime, stat.st_size, path))
         return entries
 
-    def _evict_if_needed(self, added: int = 0) -> int:
-        """Delete oldest artifacts until the store fits ``max_bytes``.
+    def _evict_if_needed(self, added: int = 0, budget: int | None = None) -> int:
+        """Delete oldest artifacts until the store fits ``budget``
+        (``max_bytes`` unless a one-off override is passed, e.g. by ``gc``).
 
         The full tree walk is amortized: a running byte estimate (seeded by
         one scan on the first write, bumped per save) keeps the under-budget
@@ -232,17 +236,19 @@ class ArtifactStore:
         exceeded by that one entry): evicting the artifact a save just wrote
         would turn an undersized budget into pure thrashing.
         """
+        if budget is None:
+            budget = self.max_bytes
         with self._lock:
             if self._approx_bytes is not None:
                 self._approx_bytes += added
-                if self._approx_bytes <= self.max_bytes:
+                if self._approx_bytes <= budget:
                     return 0
         entries = self._artifact_files()
         total = sum(size for _, size, _ in entries)
         evicted = 0
-        if total > self.max_bytes:
+        if total > budget:
             for _, size, path in sorted(entries)[:-1]:
-                if total <= self.max_bytes:
+                if total <= budget:
                     break
                 self._discard(path)
                 total -= size
@@ -259,6 +265,59 @@ class ArtifactStore:
             path.unlink()
         except OSError:
             pass
+
+    def _discard_counted(self, path: Path) -> None:
+        """Delete an artifact and subtract its size from the byte estimate."""
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        self._discard(path)
+        if size:
+            with self._lock:
+                if self._approx_bytes is not None:
+                    self._approx_bytes = max(0, self._approx_bytes - size)
+
+    def recount(self) -> int:
+        """Re-seed the running byte estimate from disk truth; returns it.
+
+        The estimate is amortized (seeded once, bumped per save, decremented
+        per internal deletion); external writers and deleters still make it
+        drift.  ``gc`` recounts first so eviction decisions are made against
+        what is actually on disk.
+        """
+        total = sum(size for _, size, _ in self._artifact_files())
+        with self._lock:
+            self._approx_bytes = total
+        return total
+
+    def gc(self, max_bytes: int | None = None) -> dict[str, int]:
+        """Recount from disk, then evict oldest-first down to the budget.
+
+        ``max_bytes`` overrides the store's budget for this sweep only
+        (``repro.experiments store gc --max-bytes`` uses it to trim harder
+        than the steady-state budget).  Returns a summary of the sweep.
+        """
+        bytes_before = self.recount()
+        entries_before = self.entry_count
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget <= 0:
+            raise ValueError("max_bytes must be positive")
+        evicted = 0
+        if bytes_before > budget:
+            # the override is passed down, never written to self.max_bytes: a
+            # concurrent save's eviction must keep seeing the steady budget
+            evicted = self._evict_if_needed(budget=budget)
+        with self._lock:
+            bytes_after = self._approx_bytes if self._approx_bytes is not None else 0
+        return {
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "entries_before": entries_before,
+            "entries_after": entries_before - evicted,
+            "evicted": evicted,
+            "max_bytes": budget,
+        }
 
     def clear(self) -> None:
         """Delete every artifact (the directory tree is left in place)."""
@@ -277,6 +336,25 @@ class ArtifactStore:
     @property
     def total_bytes(self) -> int:
         return sum(size for _, size, _ in self._artifact_files())
+
+    @property
+    def estimated_bytes(self) -> int | None:
+        """The running byte estimate (None until the first write seeds it)."""
+        with self._lock:
+            return self._approx_bytes
+
+    def namespace_stats(self) -> dict[str, dict[str, int]]:
+        """Per-namespace entry/byte footprint, sorted by bytes descending."""
+        per_namespace: dict[str, dict[str, int]] = {}
+        for _, size, path in self._artifact_files():
+            try:
+                namespace = path.relative_to(self.root).parts[0]
+            except (ValueError, IndexError):
+                continue
+            bucket = per_namespace.setdefault(namespace, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return dict(sorted(per_namespace.items(), key=lambda item: -item[1]["bytes"]))
 
     def snapshot(self) -> dict[str, Any]:
         """Lifetime counters plus current on-disk footprint (cf. ``AdapterPool.stats``)."""

@@ -15,6 +15,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import weakref
 from typing import Any
 
 
@@ -57,6 +58,37 @@ def key_digest(namespace: str, key: Any, fingerprint: str) -> str:
     return digest.hexdigest()
 
 
+#: Per-object memo for :func:`content_hash`: a campaign hashes each suite
+#: once per *cell* (suites x hosts x {plain, translated}) and each test file
+#: once per sharded run, and the canonical walk is the single most expensive
+#: part of a warm lookup.  Keyed by ``id`` because the record containers
+#: (eq-bearing dataclasses) are unhashable; the stored weakref both guards
+#: against id reuse and evicts the entry when the object is collected.
+_CONTENT_HASH_MEMO: dict[int, tuple["weakref.ref", str]] = {}
+
+
+def content_hash(value: Any) -> str:
+    """Stable content hash of a (possibly nested dataclass) value.
+
+    The hash is memoized per *object* (suites and test files are immutable
+    once built; callers that mutate one after hashing it would address stale
+    artifacts, so don't).
+    """
+    memo_key = id(value)
+    entry = _CONTENT_HASH_MEMO.get(memo_key)
+    if entry is not None:
+        ref, digest = entry
+        if ref() is value:
+            return digest
+    digest = hashlib.sha256(canonical_bytes(value)).hexdigest()
+    try:
+        ref = weakref.ref(value, lambda _ref, _key=memo_key: _CONTENT_HASH_MEMO.pop(_key, None))
+    except TypeError:
+        return digest  # unweakrefable stand-ins (tests): skip the memo
+    _CONTENT_HASH_MEMO[memo_key] = (ref, digest)
+    return digest
+
+
 def suite_content_hash(suite: Any) -> str:
     """Stable content hash of a parsed :class:`~repro.core.records.TestSuite`.
 
@@ -64,4 +96,4 @@ def suite_content_hash(suite: Any) -> str:
     processes hash identically, which is what lets donor-run artifacts written
     by one campaign be found by the next.
     """
-    return hashlib.sha256(canonical_bytes(suite)).hexdigest()
+    return content_hash(suite)

@@ -149,11 +149,13 @@ class TestCampaignReuse:
         pool.close()
 
     def test_pooled_matrix_matches_unpooled_results(self):
+        # store=None: a stored matrix cell would serve the repeat transplants
+        # without ever leasing from the pool, which is the behaviour under test
         suite = build_suite("slt", file_count=2, records_per_file=15, seed=22)
         pool = AdapterPool()
-        pooled_first = run_transplant(suite, "duckdb", pool=pool)
-        pooled_second = run_transplant(suite, "duckdb", pool=pool)  # reused lease
-        fresh = run_transplant(suite, "duckdb")
+        pooled_first = run_transplant(suite, "duckdb", pool=pool, store=None)
+        pooled_second = run_transplant(suite, "duckdb", pool=pool, store=None)  # reused lease
+        fresh = run_transplant(suite, "duckdb", store=None)
         for result in (pooled_first, pooled_second):
             assert result.result.passed_cases == fresh.result.passed_cases
             assert result.result.failed_cases == fresh.result.failed_cases

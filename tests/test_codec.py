@@ -1,0 +1,239 @@
+"""The compact result codec and the full-matrix cell reuse built on it.
+
+Pinned invariants:
+
+* **Roundtrip fidelity** — for every suite format (SLT, PostgreSQL, DuckDB,
+  MySQL) and for donor *and* cross-host cells, ``decode(encode(x))`` is
+  byte-identical to ``x`` under the canonical serialization the store keys
+  use.  This is the property that lets warm campaigns replace execution.
+* **Version/corruption rejection** — a bumped codec version, a truncated
+  frame, flipped payload bytes, or a pre-codec pickle all read as a *miss*
+  (``CodecError`` → recompute), never as plausible results.
+* **Warm-cell parity** — a warm full matrix equals a storeless run byte for
+  byte with ``workers=1`` and ``workers=4``, and store-aware workers serve
+  per-file results without executing.
+* **Compactness** — codec payloads undercut the PR 3 whole-object pickles by
+  the documented margin (>=5x) on a representative cell.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.transplant import DONOR_OF_SUITE, run_matrix, run_transplant
+from repro.corpus import build_suite
+from repro.store import (
+    ArtifactStore,
+    CodecError,
+    canonical_bytes,
+    decode_file_result,
+    decode_suite_result,
+    decode_transplant_result,
+    encode_file_result,
+    encode_suite_result,
+    encode_transplant_result,
+    store_disabled,
+)
+from repro.store import codec as codec_module
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(root=tmp_path / "store", fingerprint="codec-fp")
+
+
+#: (suite name, host for the cross-host leg) per format; small sizes keep the
+#: four-format sweep fast while covering every result shape (value-wise,
+#: row-wise, hash, table; errors; skips).
+FORMAT_WORKLOADS = (
+    ("slt", "duckdb"),
+    ("postgres", "mysql"),
+    ("duckdb", "sqlite"),
+    ("mysql", "postgres"),
+)
+
+
+def _suite_for(name: str):
+    return build_suite(name, file_count=2, records_per_file=20, seed=13, store=None)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("suite_name,cross_host", FORMAT_WORKLOADS)
+    def test_transplant_roundtrip_all_formats(self, suite_name, cross_host):
+        suite = _suite_for(suite_name)
+        for host, translate in ((cross_host, False), (cross_host, True), (None, False)):
+            target = host or DONOR_OF_SUITE[suite_name]  # None -> donor-on-donor
+            result = run_transplant(suite, target, translate_dialect=translate, store=None)
+            blob = encode_transplant_result(result, suite)
+            # verify=True re-checks every per-section column digest on top of
+            # the frame digest: any encode/decode asymmetry fails loudly here
+            decoded = decode_transplant_result(blob, suite, verify=True)
+            assert canonical_bytes(decoded) == canonical_bytes(result), (suite_name, target, translate)
+            # fault reports are re-derived, not stored: still identical
+            assert canonical_bytes(decoded.crashes) == canonical_bytes(result.crashes)
+            assert canonical_bytes(decoded.hangs) == canonical_bytes(result.hangs)
+
+    def test_suite_result_roundtrip(self):
+        suite = _suite_for("slt")
+        result = run_transplant(suite, "duckdb", store=None).result
+        decoded = decode_suite_result(encode_suite_result(result, suite), suite, verify=True)
+        assert canonical_bytes(decoded) == canonical_bytes(result)
+
+    def test_file_result_roundtrip(self):
+        suite = _suite_for("postgres")
+        result = run_transplant(suite, "postgres", store=None).result
+        for file_result, test_file in zip(result.files, suite.files):
+            blob = encode_file_result(file_result, test_file)
+            decoded = decode_file_result(blob, test_file, verify=True)
+            assert canonical_bytes(decoded) == canonical_bytes(file_result)
+
+    def test_section_digest_catches_mangled_sections(self):
+        """verify=True must reject a section whose columns were altered after
+        framing (the frame digest is recomputed here to sneak the edit past
+        it, exactly the scenario the section digests exist to catch)."""
+        import hashlib
+        import json
+        import zlib
+
+        suite = _suite_for("slt")
+        result = run_transplant(suite, "duckdb", store=None)
+        blob = encode_transplant_result(result, suite)
+        header_len = len(codec_module.MAGIC) + 1 + 8
+        document = json.loads(zlib.decompress(blob[header_len:]))
+        first = document["s"]["files"][0]
+        first["oc"] = ("P" if first["oc"][0] != "P" else "F") + first["oc"][1:]
+        payload = json.dumps(document, ensure_ascii=False, separators=(",", ":")).encode("utf-8")
+        reframed = (
+            codec_module.MAGIC
+            + bytes([codec_module.CODEC_VERSION])
+            + hashlib.sha256(payload).digest()[:8]
+            + zlib.compress(payload)
+        )
+        # the frame digest alone cannot see the edit...
+        decode_transplant_result(reframed, suite)
+        # ...the section digest can
+        with pytest.raises(CodecError, match="digest"):
+            decode_transplant_result(reframed, suite, verify=True)
+            # records are reattached, not copied: identity with the live suite
+            for record_result in decoded.results:
+                assert any(record_result.record is record for record in test_file.records)
+
+    def test_roundtrip_against_an_equal_rebuilt_suite(self):
+        """Decoding against a content-identical suite built by another process."""
+        suite = _suite_for("slt")
+        twin = _suite_for("slt")
+        assert suite is not twin
+        result = run_transplant(suite, "duckdb", store=None)
+        decoded = decode_transplant_result(encode_transplant_result(result, suite), twin)
+        assert canonical_bytes(decoded) == canonical_bytes(result)
+
+    def test_codec_payload_at_least_5x_smaller_than_pickle(self):
+        suite = build_suite("slt", file_count=3, records_per_file=40, seed=13, store=None)
+        result = run_transplant(suite, "duckdb", store=None)
+        blob = encode_transplant_result(result, suite)
+        pickled = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(pickled) >= 5 * len(blob), (
+            f"codec payload ({len(blob)}B) must be >=5x smaller than the pickle ({len(pickled)}B)"
+        )
+
+
+class TestRejection:
+    @pytest.fixture(scope="class")
+    def encoded(self):
+        suite = _suite_for("slt")
+        result = run_transplant(suite, "duckdb", store=None)
+        return suite, result, encode_transplant_result(result, suite)
+
+    def test_version_bump_is_rejected(self, encoded):
+        suite, _result, blob = encoded
+        bumped = blob[: len(codec_module.MAGIC)] + bytes([codec_module.CODEC_VERSION + 1]) + blob[len(codec_module.MAGIC) + 1 :]
+        with pytest.raises(CodecError, match="version"):
+            decode_transplant_result(bumped, suite)
+
+    def test_bad_magic_is_rejected(self, encoded):
+        suite, _result, blob = encoded
+        with pytest.raises(CodecError, match="magic"):
+            decode_transplant_result(b"XXX" + blob[3:], suite)
+
+    def test_truncated_frame_is_rejected(self, encoded):
+        suite, _result, blob = encoded
+        with pytest.raises(CodecError):
+            decode_transplant_result(blob[: len(blob) // 2], suite)
+
+    @pytest.mark.parametrize("stub", [b"", b"RRC", b"RRC\x01", b"RRC\x01short"])
+    def test_header_stubs_are_rejected_not_crashes(self, encoded, stub):
+        suite, _result, _blob = encoded
+        with pytest.raises(CodecError):
+            decode_transplant_result(stub, suite)
+
+    def test_flipped_payload_bytes_are_rejected(self, encoded):
+        suite, _result, blob = encoded
+        corrupt = bytearray(blob)
+        corrupt[-10] ^= 0xFF
+        with pytest.raises(CodecError):
+            decode_transplant_result(bytes(corrupt), suite)
+
+    def test_pre_codec_pickle_is_rejected(self, encoded):
+        suite, result, _blob = encoded
+        with pytest.raises(CodecError):
+            decode_transplant_result(pickle.dumps(result), suite)
+
+    def test_mismatched_suite_shape_is_rejected(self, encoded):
+        suite, _result, blob = encoded
+        smaller = build_suite("slt", file_count=1, records_per_file=20, seed=13, store=None)
+        with pytest.raises(CodecError):
+            decode_transplant_result(blob, smaller)
+
+    def test_stale_store_blob_is_a_miss_not_garbage(self, store):
+        """An undecodable store payload recomputes (and overwrites) the cell."""
+        suite = _suite_for("slt")
+        reference = run_transplant(suite, "duckdb", store=store)
+        # replace the stored cell with a pre-codec pickle (a PR 3 leftover)
+        [cell_path] = list((store.root / "matrix-cells").rglob("*.pkl"))
+        payload = pickle.loads(cell_path.read_bytes())
+        cell_path.write_bytes(pickle.dumps((payload[0], payload[1], pickle.dumps(reference))))
+        recomputed = run_transplant(suite, "duckdb", store=store)
+        assert canonical_bytes(recomputed) == canonical_bytes(reference)
+        # and the overwrite leaves a decodable cell behind
+        warm = run_transplant(suite, "duckdb", store=store)
+        assert canonical_bytes(warm) == canonical_bytes(reference)
+
+
+class TestWarmCellParity:
+    def test_warm_matrix_matches_storeless_with_workers_1_and_4(self, store):
+        suites = {"slt": build_suite("slt", file_count=4, records_per_file=25, seed=31, store=None)}
+        with store_disabled():
+            reference = run_matrix(suites, store=store)
+        cold = run_matrix(suites, store=store)
+        warm_serial = run_matrix(suites, store=store)
+        warm_sharded = run_matrix(suites, store=store, workers=4, executor="thread")
+        assert store.stats.hits >= len(reference.entries), "warm campaigns must serve every cell from the store"
+        for key in reference.entries:
+            expected = canonical_bytes(reference.entries[key].result)
+            assert canonical_bytes(cold.entries[key].result) == expected, key
+            assert canonical_bytes(warm_serial.entries[key].result) == expected, key
+            assert canonical_bytes(warm_sharded.entries[key].result) == expected, key
+
+    def test_store_aware_workers_persist_and_reuse_file_results(self, store):
+        suite = build_suite("slt", file_count=4, records_per_file=20, seed=32, store=None)
+        cold = run_transplant(suite, "duckdb", workers=4, executor="thread", store=store)
+        file_entries = list((store.root / "file-results").rglob("*.pkl"))
+        assert len(file_entries) == len(suite.files), "every shard file must persist its results"
+        # drop the whole-cell entry: the warm sharded run must still avoid
+        # execution by serving per-file results inside the workers
+        for cell_path in (store.root / "matrix-cells").rglob("*.pkl"):
+            cell_path.unlink()
+        warm = run_transplant(suite, "duckdb", workers=4, executor="thread", store=store)
+        assert canonical_bytes(warm) == canonical_bytes(cold)
+
+    def test_workers_see_the_fingerprint_of_the_submitting_store(self, store):
+        """Worker-side stores must address the same keys as the parent's."""
+        from repro.core.parallel import store_spec_for, _worker_store
+
+        spec = store_spec_for(store)
+        assert spec.fingerprint == store.fingerprint
+        worker_side = _worker_store(spec)
+        assert worker_side.fingerprint == store.fingerprint
+        assert str(worker_side.root) == str(store.root)

@@ -44,12 +44,15 @@ def _file_level(suite_result):
 
 
 class TestShardedParity:
+    # store=None throughout: a persisted matrix cell would serve the second
+    # run wholesale and the shard/merge machinery under test would never run
+
     @pytest.mark.parametrize("executor", ["thread", "process", "auto"])
     def test_slt_on_duckdb_workers_4_matches_serial(self, executor):
         suite = build_suite("slt", file_count=4, records_per_file=30, seed=11)
         with perf_cache.caching_disabled():
-            serial = run_transplant(suite, "duckdb")
-        parallel = run_transplant(suite, "duckdb", workers=4, executor=executor)
+            serial = run_transplant(suite, "duckdb", store=None)
+        parallel = run_transplant(suite, "duckdb", workers=4, executor=executor, store=None)
         assert _aggregates(serial.result) == _aggregates(parallel.result)
         assert _file_level(serial.result) == _file_level(parallel.result)
         assert len(serial.crashes) == len(parallel.crashes)
@@ -58,20 +61,20 @@ class TestShardedParity:
     def test_postgres_suite_on_mysql_with_translation(self):
         suite = build_suite("postgres", file_count=4, records_per_file=30, seed=5)
         with perf_cache.caching_disabled():
-            serial = run_transplant(suite, "mysql", translate_dialect=True)
-        parallel = run_transplant(suite, "mysql", translate_dialect=True, workers=4)
+            serial = run_transplant(suite, "mysql", translate_dialect=True, store=None)
+        parallel = run_transplant(suite, "mysql", translate_dialect=True, workers=4, store=None)
         assert _aggregates(serial.result) == _aggregates(parallel.result)
         assert _file_level(serial.result) == _file_level(parallel.result)
 
     def test_per_file_ordering_is_preserved(self):
         suite = build_suite("slt", file_count=5, records_per_file=20, seed=3)
-        parallel = run_transplant(suite, "duckdb", workers=3, executor="thread")
+        parallel = run_transplant(suite, "duckdb", workers=3, executor="thread", store=None)
         assert [f.path for f in parallel.result.files] == [tf.path for tf in suite.files]
 
     def test_more_workers_than_files(self):
         suite = build_suite("slt", file_count=2, records_per_file=15, seed=9)
-        serial = run_transplant(suite, "duckdb")
-        parallel = run_transplant(suite, "duckdb", workers=8, executor="thread")
+        serial = run_transplant(suite, "duckdb", store=None)
+        parallel = run_transplant(suite, "duckdb", workers=8, executor="thread", store=None)
         assert _aggregates(serial.result) == _aggregates(parallel.result)
 
 

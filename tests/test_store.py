@@ -169,6 +169,59 @@ class TestArtifactStore:
         assert store.entry_count == 0
         assert store.load("ns", "k") is None
 
+    def test_corruption_deletions_keep_the_byte_estimate_honest(self, store):
+        """Corruption-as-miss deletions must decrement the amortized byte
+        estimate (they used to leave it above disk truth by one artifact per
+        corrupt read, drifting until the next over-budget sweep)."""
+        keys = [{"seed": n} for n in range(6)]
+        for key in keys:
+            store.save("ns", key, "x" * 2000)
+        assert store.estimated_bytes == store.total_bytes
+        garbage = b"g" * 500
+        for key in keys[:3]:  # corrupt half, read them back as misses
+            store.path_for("ns", key).write_bytes(garbage)
+        estimate_before = store.estimated_bytes
+        for key in keys[:3]:
+            assert store.load("ns", key) is None
+        assert store.stats.errors == 3
+        # each corrupt read deleted its (garbage-sized) file AND subtracted
+        # that size from the estimate — without the decrement the estimate
+        # would still equal estimate_before
+        assert store.estimated_bytes == estimate_before - 3 * len(garbage)
+        # recount() then restores exact disk truth (the external overwrites
+        # themselves are invisible to the running estimate by design)
+        assert store.recount() == store.total_bytes
+        assert store.estimated_bytes == store.total_bytes
+
+    def test_gc_recounts_and_evicts_to_budget(self, store):
+        for n in range(8):
+            store.save("ns", {"k": n}, "y" * 4000)
+        # delete some entries behind the store's back: the estimate is stale
+        victims = [store.path_for("ns", {"k": n}) for n in range(2)]
+        for victim in victims:
+            victim.unlink()
+        summary = store.gc()
+        assert summary["bytes_before"] == summary["bytes_after"] == store.total_bytes
+        assert summary["evicted"] == 0
+        assert store.estimated_bytes == store.total_bytes
+        # now force a trim below the current footprint
+        summary = store.gc(max_bytes=store.total_bytes // 2)
+        assert summary["evicted"] >= 1
+        assert store.total_bytes <= summary["max_bytes"] or store.entry_count == 1
+        assert store.estimated_bytes == store.total_bytes
+        # the steady-state budget is untouched by the override
+        assert store.max_bytes != summary["max_bytes"]
+
+    def test_namespace_stats(self, store):
+        store.save("alpha", {"k": 1}, "a" * 5000)
+        store.save("alpha", {"k": 2}, "a" * 5000)
+        store.save("beta", {"k": 1}, "b")
+        stats = store.namespace_stats()
+        assert list(stats) == ["alpha", "beta"]  # sorted by bytes descending
+        assert stats["alpha"]["entries"] == 2
+        assert stats["beta"]["entries"] == 1
+        assert stats["alpha"]["bytes"] > stats["beta"]["bytes"] > 0
+
     def test_active_store_rejects_path_strings(self, store):
         from repro.store import DEFAULT, active_store
 
@@ -258,10 +311,24 @@ class TestDonorRunStore:
         assert store.stats.hits == 1
         assert canonical_bytes(first) == canonical_bytes(second)
 
-    def test_cross_host_runs_are_not_memoized(self, store, suite):
-        run_transplant(suite, "duckdb", store=store)
-        assert store.stats.lookups == 0
-        assert store.stats.writes == 0
+    def test_cross_host_cells_are_memoized(self, store, suite):
+        first = run_transplant(suite, "duckdb", store=store)
+        assert store.stats.writes == 1
+        second = run_transplant(suite, "duckdb", store=store)
+        assert store.stats.hits == 1
+        assert canonical_bytes(first) == canonical_bytes(second)
+        # cross-host cells land in their own namespace, apart from donor runs
+        assert (store.root / "matrix-cells").is_dir()
+        assert not (store.root / "donor-runs").exists()
+
+    def test_translated_and_plain_cells_key_separately(self, store, suite):
+        plain = run_transplant(suite, "duckdb", store=store)
+        translated = run_transplant(suite, "duckdb", translate_dialect=True, store=store)
+        assert store.stats.writes == 2, "translate_dialect must address a different cell"
+        warm_plain = run_transplant(suite, "duckdb", store=store)
+        warm_translated = run_transplant(suite, "duckdb", translate_dialect=True, store=store)
+        assert canonical_bytes(warm_plain) == canonical_bytes(plain)
+        assert canonical_bytes(warm_translated) == canonical_bytes(translated)
 
     def test_explicit_adapter_bypasses_store(self, store, suite):
         from repro.adapters.registry import create_adapter
@@ -289,10 +356,76 @@ class TestDonorRunStore:
 
     def test_warm_translated_matrix_reuses_stored_donor_runs(self, store, suite):
         suites = {suite.name: suite}
-        plain = run_matrix(suites, store=store)
+        plain = run_matrix(suites, hosts=("sqlite",), store=store)
         hits_before = store.stats.hits
-        translated = run_matrix(suites, translate_dialect=True, reuse_donor_runs_from=plain, store=store)
+        translated = run_matrix(suites, hosts=("sqlite",), translate_dialect=True, reuse_donor_runs_from=plain, store=store)
         # donor cells of the translated campaign come from the in-memory
         # matrix, not the store; the store hit count is unchanged
         assert store.stats.hits == hits_before
         assert translated.get(suite.name, "sqlite").result.total_cases == plain.get(suite.name, "sqlite").result.total_cases
+
+
+# -- the store CLI -----------------------------------------------------------------
+
+
+class TestStoreCLI:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        root = tmp_path / "cli-store"
+        store = ArtifactStore(root=root, fingerprint="cli-fp")
+        store.save("donor-runs", {"k": 1}, "d" * 2000)
+        store.save("matrix-cells", {"k": 1}, "m" * 3000)
+        return root, store
+
+    def _run(self, *argv) -> tuple[int, str]:
+        import contextlib
+        import io
+
+        from repro.experiments.__main__ import main
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = main(list(argv))
+        return status, buffer.getvalue()
+
+    def test_stats(self, populated):
+        root, _store = populated
+        status, output = self._run("store", "stats", "--store-dir", str(root))
+        assert status == 0
+        assert "entries:     2" in output
+        assert "matrix-cells" in output and "donor-runs" in output
+
+    def test_stats_json(self, populated):
+        import json
+
+        root, _store = populated
+        status, output = self._run("store", "stats", "--store-dir", str(root), "--json")
+        assert status == 0
+        payload = json.loads(output)
+        assert payload["entries"] == 2
+        assert set(payload["namespaces"]) == {"donor-runs", "matrix-cells"}
+
+    def test_gc_trims_to_requested_budget(self, populated):
+        root, store = populated
+        status, output = self._run("store", "gc", "--store-dir", str(root), "--max-bytes", "2500")
+        assert status == 0
+        assert "evicted" in output
+        assert store.total_bytes <= 3500  # oldest entry went; newest survives
+        assert store.entry_count == 1
+
+    def test_clear(self, populated):
+        root, store = populated
+        status, output = self._run("store", "clear", "--store-dir", str(root))
+        assert status == 0
+        assert "cleared 2" in output
+        assert store.entry_count == 0
+
+    def test_default_store_is_the_process_default(self, tmp_path):
+        """Without --store-dir the CLI talks to get_default_store() (which the
+        test session redirects to a temp dir, proving the indirection)."""
+        from repro.store import get_default_store
+
+        default_root = str(get_default_store().root)
+        status, output = self._run("store", "stats")
+        assert status == 0
+        assert default_root in output
