@@ -48,13 +48,20 @@ tier1: lint
 		exit $$status; \
 	fi
 
-## ci: what the hosted workflow runs per Python version — lint + full tests +
-## the pipeline benchmark, without the machine-local baseline comparison.
-## The bench step is non-blocking, exactly like the workflow's
+## ci: what the hosted workflow runs per Python version — lint + full tests
+## (coverage-gated when pytest-cov is installed, exactly as the workflow
+## enforces) + the pipeline benchmark, without the machine-local baseline
+## comparison.  The bench step is non-blocking, exactly like the workflow's
 ## continue-on-error (wall-clock assertions are too noisy to gate on
 ## arbitrary machines).
+COV_FAIL_UNDER ?= 75
 ci: lint
-	$(PYTHON) -m pytest -q
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-report=xml:coverage.xml --cov-fail-under=$(COV_FAIL_UNDER); \
+	else \
+		echo "ci: pytest-cov not installed; running tests without the coverage gate"; \
+		$(PYTHON) -m pytest -q; \
+	fi
 	@$(PYTHON) -m pytest benchmarks/bench_pipeline.py -q \
 		|| echo "ci: bench step failed (non-blocking, mirrors hosted CI)"
 

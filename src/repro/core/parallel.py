@@ -48,7 +48,6 @@ are byte-identical; suites that do use random() should run with ``workers=1``.
 
 from __future__ import annotations
 
-import dataclasses
 import os
 import pickle
 import threading
@@ -66,7 +65,7 @@ from repro.core.runner import FileResult, SuiteResult, TestRunner
 from repro.perf import cache as perf_cache
 from repro.store import codec as result_codec
 from repro.store.artifacts import ArtifactStore
-from repro.store.keys import content_hash
+from repro.store.keys import FILE_RESULTS_NAMESPACE, file_result_key
 
 #: exception types that signal worker-pool *infrastructure* failure (rather
 #: than a genuine error inside a shard); both trigger thread degradation
@@ -165,17 +164,25 @@ def _worker_store(spec: StoreSpec | None) -> ArtifactStore | None:
 
 
 def _file_result_key(spec: "RunnerSpec", test_file: TestFile) -> dict:
-    """Store key of one file's results under one runner configuration.
+    """Store key of one file's results (see :func:`repro.store.keys.file_result_key`)."""
+    return file_result_key(spec, test_file)
 
-    Keyed on the *file's* content (not the whole suite's), so a campaign
-    whose suite gained or lost files still reuses every unchanged file.
-    ``content_hash`` memoizes per file object, so repeat sharded runs in one
-    process (plain + translated matrices, warm replays) hash each file once.
+
+def _load_file_result(store: "ArtifactStore", key: dict, test_file: TestFile):
+    """``(frame, FileResult)`` for a ``file-results`` entry, or None on miss.
+
+    The one corrupt-blob protocol both readers (shards and assembly) share:
+    a frame the codec rejects is invalidated — deleted, its lookup demoted
+    to a miss — and reported as absent, never trusted.
     """
-    return {
-        "file_hash": content_hash(test_file),
-        "spec": dataclasses.asdict(spec),
-    }
+    cached = store.load(FILE_RESULTS_NAMESPACE, key)
+    if cached is None:
+        return None
+    try:
+        return cached, result_codec.decode_file_result(cached, test_file)
+    except result_codec.CodecError:
+        store.invalidate(FILE_RESULTS_NAMESPACE, key)
+        return None
 
 
 @dataclass(frozen=True)
@@ -217,6 +224,10 @@ class ShardedRunReport:
     workers: int
     executor: str                          # "process" | "thread" | "serial"
     cache_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: per-file codec frames the store-aware shards loaded or encoded, keyed
+    #: by suite file index (absent for storeless runs and unencodable files);
+    #: suite-level bundling reuses these instead of re-encoding
+    file_blobs: dict[int, bytes] = field(default_factory=dict)
 
 
 def runner_spec_for(runner: TestRunner) -> RunnerSpec | None:
@@ -262,7 +273,8 @@ def _run_shard(
     caching: bool = True,
     collect_stats: bool = True,
     store_ref: "ArtifactStore | StoreSpec | None" = None,
-) -> tuple[list[tuple[int, FileResult]], dict]:
+    probe_store: bool = True,
+) -> tuple[list[tuple[int, FileResult, "bytes | None"]], dict]:
     """Worker entry point: run one chunk of files on a pooled adapter.
 
     ``caching`` mirrors the submitting process's global cache switch into
@@ -279,7 +291,13 @@ def _run_shard(
     all.  Thread workers receive the campaign's live (thread-safe)
     :class:`ArtifactStore` — one instance, one set of stats and byte
     estimates; process workers receive a :class:`StoreSpec` and re-open the
-    store on their side.
+    store on their side.  ``probe_store=False`` skips the per-file load while
+    keeping the persist: incremental assembly uses it for files it *already*
+    probed, so known misses are not looked up — and counted — twice.
+
+    Each result travels as ``(index, FileResult, frame-or-None)``: the codec
+    frame a store-aware shard loaded or encoded rides back to the submitter,
+    so suite-level bundling reuses it instead of re-encoding the file.
     """
     perf_cache.set_caching(caching)
     before = perf_cache.cache_stats() if collect_stats else {}
@@ -289,30 +307,32 @@ def _run_shard(
     adapter = None
     runner = None
     try:
-        results: list[tuple[int, FileResult]] = []
+        results: list[tuple[int, FileResult, bytes | None]] = []
         for index, test_file in shard:
             key = None
             if store is not None:
                 key = _file_result_key(spec, test_file)
-                cached = store.load("file-results", key)
-                if cached is not None:
-                    try:
-                        results.append((index, result_codec.decode_file_result(cached, test_file)))
+                if probe_store:
+                    loaded = _load_file_result(store, key, test_file)
+                    if loaded is not None:
+                        blob, file_result = loaded
+                        results.append((index, file_result, blob))
                         store_hits += 1
                         continue
-                    except result_codec.CodecError:
-                        pass  # stale or garbled payload: execute and overwrite
                 store_misses += 1
             if adapter is None:
                 adapter = pool.acquire(spec.adapter_name, **dict(spec.adapter_kwargs))
                 runner = spec.make_runner(adapter)
             file_result = runner.run_file(test_file)
-            results.append((index, file_result))
+            blob = None
             if key is not None:
                 try:
-                    store.save("file-results", key, result_codec.encode_file_result(file_result, test_file))
+                    blob = result_codec.encode_file_result(file_result, test_file)
                 except result_codec.CodecError:
                     pass  # unencodable file result: reuse simply does not extend to it
+                else:
+                    store.save(FILE_RESULTS_NAMESPACE, key, blob)
+            results.append((index, file_result, blob))
     except Exception as error:
         # an adapter whose shard blew up is not trustworthy: tear it down
         # instead of re-pooling it, and wrap the error so the submitting
@@ -337,9 +357,11 @@ def _run_shard(
     return results, stats
 
 
-def _merge(suite: TestSuite, spec: RunnerSpec, indexed_results: list[tuple[int, FileResult]]) -> SuiteResult:
+def _merge(
+    suite: TestSuite, spec: RunnerSpec, indexed_results: list[tuple[int, FileResult, "bytes | None"]]
+) -> SuiteResult:
     merged = SuiteResult(suite=suite.name, host=spec.host_name)
-    merged.files = [file_result for _, file_result in sorted(indexed_results, key=lambda item: item[0])]
+    merged.files = [file_result for _, file_result, _ in sorted(indexed_results, key=lambda item: item[0])]
     return merged
 
 
@@ -379,10 +401,22 @@ class WorkerPool:
         self.shutdown()
         self.flavour = "thread"
 
-    def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool, store_ref=None):
+    def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool, store_ref=None, probe_store: bool = True):
         """Submit every shard and gather ``(indexed_results, stats)`` pairs."""
+        return self.map_tasks(
+            _run_shard, [(spec, shard, caching, collect_stats, store_ref, probe_store) for shard in shards]
+        )
+
+    def map_tasks(self, fn, tasks):
+        """Run ``fn(*task)`` for every argument tuple; results in task order.
+
+        The generic sibling of :meth:`map_shards` for non-runner workloads —
+        corpus generation shards its per-file donor recording over the same
+        campaign pool this way.  ``fn`` must be a module-level callable when
+        the pool is process-flavoured (it travels by pickle).
+        """
         pool = self._ensure()
-        futures = [pool.submit(_run_shard, spec, shard, caching, collect_stats, store_ref) for shard in shards]
+        futures = [pool.submit(fn, *task) for task in tasks]
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
@@ -402,17 +436,25 @@ class WorkerPool:
         self.shutdown()
 
 
-def _run_with_pool(worker_pool: WorkerPool, suite: TestSuite, spec: RunnerSpec, workers: int, store: "ArtifactStore | None" = None):
+def _run_with_pool(
+    worker_pool: WorkerPool,
+    suite: TestSuite,
+    spec: RunnerSpec,
+    workers: int,
+    store: "ArtifactStore | None" = None,
+    probe_store: bool = True,
+):
     collect_stats = worker_pool.flavour == "process"
     shards = _shards(suite, min(workers, worker_pool.workers))
     caching = perf_cache.caching_enabled()
     # thread workers share this process: hand them the live store (one stats
     # and byte-estimate authority); process workers get a picklable spec
     store_ref = store if worker_pool.flavour == "thread" else store_spec_for(store)
-    outcomes = worker_pool.map_shards(spec, shards, caching, collect_stats, store_ref)
+    outcomes = worker_pool.map_shards(spec, shards, caching, collect_stats, store_ref, probe_store)
     indexed_results = [item for results, _ in outcomes for item in results]
     worker_stats = perf_cache.merge_stats(*(stats for _, stats in outcomes))
-    return _merge(suite, spec, indexed_results), worker_stats
+    file_blobs = {index: blob for index, _, blob in indexed_results if blob is not None}
+    return _merge(suite, spec, indexed_results), worker_stats, file_blobs
 
 
 def run_suite_sharded(
@@ -422,6 +464,7 @@ def run_suite_sharded(
     executor: str = "auto",
     worker_pool: WorkerPool | None = None,
     store: "ArtifactStore | None" = None,
+    probe_store: bool = True,
 ) -> ShardedRunReport:
     """Run ``suite`` as per-file shards on a ``workers``-wide pool.
 
@@ -433,6 +476,9 @@ def run_suite_sharded(
     caller owns its shutdown.  Passing the campaign's :class:`ArtifactStore`
     makes every worker store-aware (see :func:`_run_shard`): warm per-file
     results are loaded instead of executed, shard by shard.
+    ``probe_store=False`` keeps the workers' persist side but skips their
+    per-file loads — for callers that already probed every file themselves
+    (incremental assembly), so misses are not counted twice.
     """
     if workers <= 1 or len(suite.files) <= 1:
         before = perf_cache.cache_stats()
@@ -457,12 +503,14 @@ def run_suite_sharded(
     try:
         if worker_pool.flavour == "process":
             try:
-                result, worker_stats = _run_with_pool(worker_pool, suite, spec, workers, store)
+                result, worker_stats, file_blobs = _run_with_pool(worker_pool, suite, spec, workers, store, probe_store)
                 # worker processes accumulated cache activity in their own
                 # address space; fold it into this process's counters so
                 # cache_stats() reports total pipeline activity
                 perf_cache.absorb_stats(worker_stats)
-                return ShardedRunReport(result=result, workers=workers, executor="process", cache_stats=worker_stats)
+                return ShardedRunReport(
+                    result=result, workers=workers, executor="process", cache_stats=worker_stats, file_blobs=file_blobs
+                )
             except _POOL_INFRA_ERRORS:
                 # pool infrastructure failures (no fork support, sandboxed
                 # semaphores, unpicklable payloads, killed workers) degrade to
@@ -474,7 +522,7 @@ def run_suite_sharded(
         # The store-files counters are shard-local (see _run_shard) and stay
         # valid, so that bucket is folded into the report from the workers.
         before = perf_cache.cache_stats()
-        result, worker_stats = _run_with_pool(worker_pool, suite, spec, workers, store)
+        result, worker_stats, file_blobs = _run_with_pool(worker_pool, suite, spec, workers, store, probe_store)
         cache_stats = _stats_delta(before, perf_cache.cache_stats())
         if "store-files" in worker_stats:
             cache_stats["store-files"] = worker_stats["store-files"]
@@ -483,7 +531,106 @@ def run_suite_sharded(
             workers=workers,
             executor="thread",
             cache_stats=cache_stats,
+            file_blobs=file_blobs,
         )
     finally:
         if owns_pool:
             worker_pool.shutdown()
+
+
+def map_over_pool(worker_pool: WorkerPool, fn, tasks):
+    """Run ``fn(*task)`` for every task on ``worker_pool``, in task order.
+
+    Applies the same infrastructure-degradation contract as sharded suite
+    execution: a process-pool bootstrap failure (no fork support, sandboxed
+    semaphores, unpicklable callables) permanently degrades the pool to
+    threads and the whole batch is resubmitted.  Genuine errors raised inside
+    ``fn`` propagate — wrap them distinctly (cf. :class:`ShardExecutionError`)
+    if they could be mistaken for infrastructure failures.
+    """
+    if worker_pool.flavour == "process":
+        try:
+            return worker_pool.map_tasks(fn, tasks)
+        except _POOL_INFRA_ERRORS:
+            worker_pool.degrade_to_threads()
+    return worker_pool.map_tasks(fn, tasks)
+
+
+def assemble_suite_result(
+    suite: TestSuite,
+    runner: TestRunner,
+    store: ArtifactStore,
+    workers: int = 1,
+    executor: str = "auto",
+    worker_pool: "WorkerPool | None" = None,
+    prepare_runner=None,
+) -> "tuple[SuiteResult, list[bytes | None]] | None":
+    """Assemble a suite-level result from per-file ``file-results`` artifacts.
+
+    The incremental-campaign core: every file of ``suite`` is probed in the
+    store first and only the misses are executed, so a campaign whose suite
+    changed in one file re-executes that one file and loads the other N-1 —
+    at ~1/N of a cold run's cost while staying byte-identical to full
+    re-execution (per-file results are exactly what serial execution
+    produces; the merge preserves file order).
+
+    A corrupted, truncated, or version-bumped per-file blob falls back to
+    executing *that one file* (the blob is invalidated, never trusted), not
+    to aborting or re-running the suite.  Executed files are persisted, so
+    the next assembly — and any store-aware sharded worker — finds them.
+
+    Misses are executed on ``runner`` serially, or sharded across
+    ``workers`` when there is more than one (with ``probe_store=False``:
+    every file was already probed — and its miss counted — here, so workers
+    only execute and persist).  ``prepare_runner`` is invoked once before the
+    first serial execution — callers whose adapter's ``setup()`` was deferred
+    pass it here, so adapters that hook setup still see it exactly when (and
+    only when) assembly actually executes on them.
+
+    Returns ``(merged result, per-file frames)``; the frames — loaded here,
+    encoded here, or shipped back from the store-aware workers — let
+    :func:`repro.core.transplant.run_transplant` bundle the suite-level cell
+    by byte reuse instead of re-encoding any file (``None`` only for
+    unencodable results).  Returns None when the runner's adapter cannot be
+    described as a :class:`RunnerSpec`; callers fall back to plain execution.
+    """
+    spec = runner_spec_for(runner)
+    if spec is None:
+        return None
+    assembled: dict[int, FileResult] = {}
+    blobs: list[bytes | None] = [None] * len(suite.files)
+    keys = [_file_result_key(spec, test_file) for test_file in suite.files]
+    missing: list[tuple[int, TestFile]] = []
+    for index, test_file in enumerate(suite.files):
+        loaded = _load_file_result(store, keys[index], test_file)
+        if loaded is not None:
+            blobs[index], assembled[index] = loaded
+            continue
+        missing.append((index, test_file))
+    if missing:
+        if workers > 1 and len(missing) > 1:
+            partial = TestSuite(name=suite.name, files=[test_file for _, test_file in missing])
+            # probe_store=False: every file of ``partial`` was just probed
+            # (and counted) above; workers only execute and persist
+            report = run_suite_sharded(
+                partial, spec, workers=workers, executor=executor, worker_pool=worker_pool, store=store,
+                probe_store=False,
+            )
+            for partial_index, ((index, _), file_result) in enumerate(zip(missing, report.result.files)):
+                assembled[index] = file_result
+                blobs[index] = report.file_blobs.get(partial_index)
+        else:
+            if prepare_runner is not None:
+                prepare_runner()
+            for index, test_file in missing:
+                file_result = runner.run_file(test_file)
+                assembled[index] = file_result
+                try:
+                    blob = result_codec.encode_file_result(file_result, test_file)
+                except result_codec.CodecError:
+                    continue  # unencodable file result: reuse simply does not extend to it
+                blobs[index] = blob
+                store.save(FILE_RESULTS_NAMESPACE, keys[index], blob)
+    merged = SuiteResult(suite=suite.name, host=spec.host_name)
+    merged.files = [assembled[index] for index in range(len(suite.files))]
+    return merged, blobs

@@ -135,6 +135,7 @@ def run_transplant(
     pool: AdapterPool | None = None,
     worker_pool=None,
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
+    incremental: bool = True,
 ) -> TransplantResult:
     """Run ``suite`` on ``host`` and collect results plus crash/hang reports.
 
@@ -155,6 +156,16 @@ def run_transplant(
     records are reattached from the live suite on load, so a warm campaign
     replays the full matrix without touching an adapter.  ``store=None`` or
     :func:`repro.store.store_disabled` restores the always-execute path.
+
+    When the suite-level entry misses, ``incremental`` (the default) probes
+    the ``file-results`` namespace per file and executes only the files with
+    no usable artifact, assembling the suite result — and the fresh
+    suite-level entry — from the per-file pieces
+    (:func:`repro.core.parallel.assemble_suite_result`).  Editing one file of
+    an N-file suite therefore costs ~1/N of a cold run, byte-identical to
+    full re-execution.  ``incremental=False`` (the CLI's
+    ``--no-incremental``) forces full suite execution on any suite-level
+    miss.
     """
     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
     if available_extensions is None:
@@ -174,28 +185,34 @@ def run_transplant(
         cached = backing.load(*memo)
         if cached is not None:
             try:
+                if isinstance(cached, dict):
+                    # the assembled-cell format: header + per-file frames
+                    return result_codec.decode_transplant_bundle(cached, suite)
                 return result_codec.decode_transplant_result(cached, suite)
             except result_codec.CodecError:
-                # pre-codec pickle, version bump, or garbled payload: recompute
-                # (the save below overwrites the stale entry)
-                pass
+                # pre-codec pickle, version bump, or garbled payload: discard
+                # and recompute (the save below writes a fresh entry); the
+                # invalidation reclassifies the load as a miss
+                backing.invalidate(*memo)
     # mirrors TestRunner.run_suite's guard: only multi-file suites shard
     sharded = workers > 1 and len(suite.files) > 1
+    may_assemble = backing is not None and incremental
     leased = False
     deferred_setup = False
     if adapter is None:
-        if pool is not None and not sharded:
+        if pool is not None and not sharded and not may_assemble:
             # one lease per campaign host instead of a build per transplant
             adapter = pool.acquire(host)
             leased = True
         else:
             # the sharded path draws execution adapters from the workers' own
-            # pools; this instance only seeds the RunnerSpec, so it stays
-            # unconnected.  The serial path executes on it (run_file
-            # reconnects via reset() anyway, but connecting here keeps seed
-            # behaviour).
+            # pools, and the incremental-assembly path may execute nothing at
+            # all — in both cases this instance only seeds the RunnerSpec, so
+            # it stays unconnected; a pool lease (or this adapter's setup())
+            # happens lazily, the moment something actually executes.  Only
+            # the plain serial path connects here, keeping seed behaviour.
             adapter = create_adapter(host)
-            if not sharded:
+            if not sharded and not may_assemble:
                 adapter.setup()
             else:
                 deferred_setup = True
@@ -208,17 +225,60 @@ def run_transplant(
         donor_dialect=donor,
         max_records_per_file=max_records_per_file,
     )
+    def _prepare_execution():
+        # bring the deferred adapter to life the moment something must
+        # execute on this process's runner: a campaign pool serves the lease
+        # (reusing live adapters across transplants, exactly as the eager
+        # path did), otherwise the seed adapter's setup() runs — adapters
+        # that hook setup() keep their hook.  A fully-warm assembly never
+        # gets here, so it neither leases nor connects anything.
+        nonlocal adapter, leased, deferred_setup
+        if not deferred_setup:
+            return
+        deferred_setup = False
+        if pool is not None and not sharded:
+            adapter = pool.acquire(host)
+            leased = True
+            runner.adapter = adapter
+        else:
+            adapter.setup()
+
     if deferred_setup:
         from repro.core.parallel import runner_spec_for
 
         if runner_spec_for(runner) is None:
-            # the adapter cannot be rebuilt in workers: run_suite will fall
-            # back to executing serially on this very instance — connect it
-            adapter.setup()
+            # no RunnerSpec means neither workers nor incremental assembly
+            # can serve this adapter: run_suite will execute serially on this
+            # very instance — prepare it now
+            _prepare_execution()
     try:
-        suite_result = runner.run_suite(
-            suite, workers=workers, executor=executor, worker_pool=worker_pool, store=backing
-        )
+        suite_result = None
+        file_blobs = None
+        if may_assemble:
+            from repro.core.parallel import assemble_suite_result
+
+            assembly = assemble_suite_result(
+                suite,
+                runner,
+                backing,
+                workers=workers,
+                executor=executor,
+                worker_pool=worker_pool,
+                prepare_runner=_prepare_execution,
+            )
+            if assembly is not None:
+                suite_result, file_blobs = assembly
+        if suite_result is None:
+            # per-file store reuse inside sharded workers is the incremental
+            # feature too: with incremental=False the suite really is
+            # re-executed whole, as the flag's contract promises
+            suite_result = runner.run_suite(
+                suite,
+                workers=workers,
+                executor=executor,
+                worker_pool=worker_pool,
+                store=backing if incremental else None,
+            )
     finally:
         if leased:
             pool.release(adapter)
@@ -227,7 +287,10 @@ def run_transplant(
     transplant_result = TransplantResult(suite=suite.name, host=host, donor=donor, result=suite_result, crashes=crashes, hangs=hangs)
     if memo is not None:
         try:
-            payload = result_codec.encode_transplant_result(transplant_result, suite)
+            # the suite-level entry is *assembled* from the per-file frames
+            # the incremental path already holds (byte reuse, no re-encoding);
+            # full executions encode their files here instead
+            payload = result_codec.encode_transplant_bundle(transplant_result, suite, file_blobs=file_blobs)
         except result_codec.CodecError:
             payload = None  # unencodable cell (foreign records): skip persisting
         if payload is not None:
@@ -278,6 +341,7 @@ def run_matrix(
     adapter_pool: AdapterPool | None = None,
     worker_pool=None,
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
+    incremental: bool = True,
 ) -> TransplantMatrix:
     """Run every suite on every host (the Figure 4 campaign).
 
@@ -303,6 +367,9 @@ def run_matrix(
     and cross-host transplants alike — is served from the persistent artifact
     store (see :func:`run_transplant`), so a repeated campaign with all cells
     persisted replays the whole matrix without executing anything.
+    ``incremental`` additionally assembles suite-level misses from per-file
+    ``file-results`` artifacts, so a campaign over an *edited* suite
+    re-executes only the changed files of every cell.
     """
     from repro.core.parallel import WorkerPool
 
@@ -336,6 +403,7 @@ def run_matrix(
                         pool=adapter_pool,
                         worker_pool=worker_pool,
                         store=store,
+                        incremental=incremental,
                     )
                 )
     finally:

@@ -32,6 +32,7 @@ from repro.core.comparison import normalize_value
 from repro.core.records import TestFile, TestSuite
 from repro.core.suite import parse_test_text
 from repro.store import artifacts as artifact_store
+from repro.store.keys import FILE_DONOR_NAMESPACE, donor_file_key
 from repro.corpus.datagen import (
     SchemaState,
     choose_bucket,
@@ -801,21 +802,63 @@ def _corpus_key(suite: str, file_count: int, records_per_file: int, seed: int) -
     }
 
 
+def _generate_file(suite: str, records_per_file: int, seed: int, index: int) -> dict:
+    """Plan, donor-record, and serialize one corpus file.
+
+    A pure function of its arguments (the per-file rng seed depends only on
+    ``(suite, seed, index)``, and recording opens fresh donor adapters), which
+    is what lets :func:`generate_corpus` shard files over a worker pool and
+    persist each one independently.  Module-level so process-pool workers can
+    receive it by pickle; returns the :class:`GeneratedFile` fields as a plain
+    dict for the same reason (and because that is the store payload shape).
+    """
+    profile = PAPER_PROFILES[suite]
+    # hash() is salted per process; derive a stable per-file seed instead so
+    # corpora are reproducible across runs.
+    file_seed = (seed * 1_000_003 + index * 7919 + sum(ord(ch) for ch in suite)) & 0x7FFFFFFF
+    rng = random.Random(file_seed)
+    logical = _plan_file(profile, rng, records_per_file, file_index=index)
+    resolved = _resolve_records(logical, profile.donor, typed_values=suite in ("slt", "duckdb"))
+    if suite == "slt":
+        return {"name": f"select{index + 1}.test", "primary_text": _serialize_slt(resolved, row_wise=False), "expected_text": None}
+    if suite == "duckdb":
+        return {"name": f"test_{index + 1:04d}.test", "primary_text": _serialize_slt(resolved, row_wise=True), "expected_text": None}
+    if suite == "postgres":
+        sql_text, out_text = _serialize_postgres(resolved)
+        return {"name": f"regress_{index + 1:03d}.sql", "primary_text": sql_text, "expected_text": out_text}
+    test_text, result_text = _serialize_mysql(resolved)
+    return {"name": f"mysql_{index + 1:03d}.test", "primary_text": test_text, "expected_text": result_text}
+
+
+_GENERATED_FIELDS = frozenset(("name", "primary_text", "expected_text"))
+
+
 def generate_corpus(
     suite: str,
     file_count: int | None = None,
     records_per_file: int | None = None,
     seed: int = 0,
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
+    workers: int = 1,
+    executor: str = "auto",
+    worker_pool=None,
 ) -> list[GeneratedFile]:
     """Generate native-format test files for ``suite`` (``slt``/``postgres``/...).
 
-    Generation is expensive (every statement is recorded on the donor), so the
-    serialized texts are persisted in the artifact store and later calls —
-    in *any* process — load instead of regenerating.  ``store=None`` (or the
+    Generation is expensive (every statement is recorded on the donor), so it
+    is persisted at two granularities: the whole corpus (``corpus-files``,
+    the fast path) and each file's donor recording (``file-donor``, keyed by
+    ``(suite, records_per_file, seed, index)`` — deliberately *not* by
+    ``file_count``, so growing a corpus reuses every already-recorded file).
+    Later calls — in *any* process — load instead of regenerating, and only
+    the files with no usable recording are generated.  ``store=None`` (or the
     global :func:`repro.store.store_disabled` switch) forces regeneration.
+
+    ``workers > 1`` shards the missing files' donor recording over a worker
+    pool (:func:`repro.core.parallel.map_over_pool`) the way suite execution
+    is sharded; per-file seeding keeps the output byte-identical to a serial
+    build.  ``worker_pool`` reuses a campaign's persistent pool.
     """
-    profile = PAPER_PROFILES[suite]
     count = file_count if file_count is not None else DEFAULT_FILE_COUNT[suite]
     per_file = records_per_file if records_per_file is not None else DEFAULT_RECORDS_PER_FILE[suite]
     backing = artifact_store.active_store(store)
@@ -824,26 +867,41 @@ def generate_corpus(
         cached = backing.load("corpus-files", key)
         if cached is not None:
             return [GeneratedFile(**entry) for entry in cached]
-    generated: list[GeneratedFile] = []
+    payloads: dict[int, dict] = {}
+    missing: list[int] = []
     for index in range(count):
-        # hash() is salted per process; derive a stable per-file seed instead so
-        # corpora are reproducible across runs.
-        file_seed = (seed * 1_000_003 + index * 7919 + sum(ord(ch) for ch in suite)) & 0x7FFFFFFF
-        rng = random.Random(file_seed)
-        logical = _plan_file(profile, rng, per_file, file_index=index)
-        resolved = _resolve_records(logical, profile.donor, typed_values=suite in ("slt", "duckdb"))
-        if suite in ("slt",):
-            text = _serialize_slt(resolved, row_wise=False)
-            generated.append(GeneratedFile(name=f"select{index + 1}.test", primary_text=text))
-        elif suite == "duckdb":
-            text = _serialize_slt(resolved, row_wise=True)
-            generated.append(GeneratedFile(name=f"test_{index + 1:04d}.test", primary_text=text))
-        elif suite == "postgres":
-            sql_text, out_text = _serialize_postgres(resolved)
-            generated.append(GeneratedFile(name=f"regress_{index + 1:03d}.sql", primary_text=sql_text, expected_text=out_text))
-        else:  # mysql
-            test_text, result_text = _serialize_mysql(resolved)
-            generated.append(GeneratedFile(name=f"mysql_{index + 1:03d}.test", primary_text=test_text, expected_text=result_text))
+        if backing is not None:
+            file_key = donor_file_key(suite, per_file, seed, index)
+            entry = backing.load(FILE_DONOR_NAMESPACE, file_key)
+            # exact shape only: extra keys would blow up GeneratedFile(**entry)
+            if isinstance(entry, dict) and entry.keys() == _GENERATED_FIELDS:
+                payloads[index] = entry
+                continue
+            if entry is not None:
+                # loadable but not a recording (foreign payload shape at this
+                # key): discard and demote the hit, like any corrupt blob
+                backing.invalidate(FILE_DONOR_NAMESPACE, file_key)
+        missing.append(index)
+    if missing:
+        tasks = [(suite, per_file, seed, index) for index in missing]
+        if workers > 1 and len(missing) > 1:
+            from repro.core.parallel import WorkerPool, map_over_pool
+
+            owns_pool = worker_pool is None
+            if worker_pool is None:
+                worker_pool = WorkerPool(min(workers, len(missing)), executor)
+            try:
+                produced = map_over_pool(worker_pool, _generate_file, tasks)
+            finally:
+                if owns_pool:
+                    worker_pool.shutdown()
+        else:
+            produced = [_generate_file(*task) for task in tasks]
+        for index, payload in zip(missing, produced):
+            payloads[index] = payload
+            if backing is not None:
+                backing.save(FILE_DONOR_NAMESPACE, donor_file_key(suite, per_file, seed, index), payload)
+    generated = [GeneratedFile(**payloads[index]) for index in range(count)]
     if backing is not None:
         backing.save(
             "corpus-files",
@@ -862,13 +920,18 @@ def build_suite(
     records_per_file: int | None = None,
     seed: int = 0,
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
+    workers: int = 1,
+    executor: str = "auto",
+    worker_pool=None,
 ) -> TestSuite:
     """Generate a corpus and parse it back through the native-format parsers.
 
     The parsed :class:`TestSuite` is itself persisted in the artifact store
     (namespace ``corpus-suites``), so a warm process skips both generation and
     re-parsing; a store miss falls through to :func:`generate_corpus`, whose
-    own ``corpus-files`` namespace may still satisfy the generation half.
+    own ``corpus-files``/``file-donor`` namespaces may still satisfy the
+    generation half (wholly or file by file).  ``workers``/``worker_pool``
+    shard donor recording of any files that do need generating.
     """
     backing = artifact_store.active_store(store)
     count = file_count if file_count is not None else DEFAULT_FILE_COUNT[suite]
@@ -878,7 +941,16 @@ def build_suite(
         cached = backing.load("corpus-suites", key)
         if isinstance(cached, TestSuite):
             return cached
-    generated = generate_corpus(suite, file_count=file_count, records_per_file=records_per_file, seed=seed, store=backing)
+    generated = generate_corpus(
+        suite,
+        file_count=file_count,
+        records_per_file=records_per_file,
+        seed=seed,
+        store=backing,
+        workers=workers,
+        executor=executor,
+        worker_pool=worker_pool,
+    )
     test_suite = TestSuite(name=suite)
     for item in generated:
         if suite == "postgres":
@@ -900,18 +972,25 @@ def build_all_suites(
     scale: float = 1.0,
     include_mysql: bool = False,
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
+    workers: int = 1,
+    executor: str = "auto",
+    worker_pool=None,
 ) -> dict[str, TestSuite]:
     """Build the executable suites of RQ2-RQ4 (plus MySQL for RQ1 if asked).
 
     ``scale`` multiplies the default file counts (1.0 ≈ a few thousand test
     cases across the three suites — enough for the distributions to be stable
     while the full cross-execution matrix stays laptop-sized).
+    ``workers``/``worker_pool`` shard each suite's donor recording (see
+    :func:`generate_corpus`).
     """
     suites: dict[str, TestSuite] = {}
     names = ["slt", "postgres", "duckdb"] + (["mysql"] if include_mysql else [])
     for name in names:
         file_count = max(3, int(round(DEFAULT_FILE_COUNT[name] * scale)))
-        suites[name] = build_suite(name, file_count=file_count, seed=seed, store=store)
+        suites[name] = build_suite(
+            name, file_count=file_count, seed=seed, store=store, workers=workers, executor=executor, worker_pool=worker_pool
+        )
     return suites
 
 

@@ -120,6 +120,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the persistent artifact store (regenerate corpora and re-record donor runs)",
     )
+    parser.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="assemble store-backed campaigns from per-file artifacts, executing only changed files "
+        "(--no-incremental re-executes whole suites on any suite-level store miss)",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument("--list-formats", action="store_true", help="list registered test-suite formats and exit")
     parser.add_argument("--list-adapters", action="store_true", help="list registered DBMS adapters and exit")
@@ -143,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=arguments.workers,
         store_dir=arguments.store_dir,
         use_store=not arguments.no_store,
+        incremental=arguments.incremental,
     ) as context:
         for experiment_id in selected:
             result = run_experiment(experiment_id, context)

@@ -38,6 +38,15 @@ class ExperimentContext:
     ``use_store=False`` runs the whole campaign storeless (the CLI's
     ``--no-store``).  Corpora and donor runs are then loaded from disk when a
     previous campaign — in any process — already produced them.
+
+    ``incremental`` (the default) assembles store-backed campaigns file by
+    file: matrix cells whose suite changed re-execute only the changed files
+    and load the rest from the ``file-results`` namespace.
+    ``incremental=False`` (the CLI's ``--no-incremental``) re-executes whole
+    suites on any suite-level store miss.  Corpus builds reuse per-file
+    donor recordings (``file-donor``) whenever the store is on — that reuse
+    is part of the store layer itself (disable with ``use_store=False``),
+    not of this switch.
     """
 
     def __init__(
@@ -49,10 +58,12 @@ class ExperimentContext:
         executor: str = "auto",
         store_dir: str | None = None,
         use_store: bool = True,
+        incremental: bool = True,
     ):
         self.scale = scale
         self.seed = seed
         self.hosts = hosts
+        self.incremental = incremental
         #: resolved artifact-store argument threaded through every corpus
         #: build and campaign: an explicit store, the process default
         #: (``DEFAULT``), or ``None`` for storeless
@@ -108,9 +119,21 @@ class ExperimentContext:
 
     @property
     def suites(self) -> dict[str, TestSuite]:
-        """The three executable suites (SLT, PostgreSQL, DuckDB)."""
+        """The three executable suites (SLT, PostgreSQL, DuckDB).
+
+        Donor recording of any files the store cannot serve is sharded over
+        the context's persistent worker pool (``workers > 1``), the same pool
+        the campaigns execute on.
+        """
         if self._suites is None:
-            self._suites = build_all_suites(seed=self.seed, scale=self.scale, store=self.store)
+            self._suites = build_all_suites(
+                seed=self.seed,
+                scale=self.scale,
+                store=self.store,
+                workers=self.workers,
+                executor=self.executor,
+                worker_pool=self.worker_pool,
+            )
         return self._suites
 
     @property
@@ -120,7 +143,15 @@ class ExperimentContext:
             from repro.corpus.generate import DEFAULT_FILE_COUNT
 
             file_count = max(3, int(round(DEFAULT_FILE_COUNT["mysql"] * self.scale)))
-            self._mysql_suite = build_suite("mysql", file_count=file_count, seed=self.seed, store=self.store)
+            self._mysql_suite = build_suite(
+                "mysql",
+                file_count=file_count,
+                seed=self.seed,
+                store=self.store,
+                workers=self.workers,
+                executor=self.executor,
+                worker_pool=self.worker_pool,
+            )
         return self._mysql_suite
 
     def all_suites_with_mysql(self) -> dict[str, TestSuite]:
@@ -142,6 +173,7 @@ class ExperimentContext:
                 adapter_pool=self.adapter_pool,
                 worker_pool=self.worker_pool,
                 store=self.store,
+                incremental=self.incremental,
             )
         return self._matrix
 
@@ -163,6 +195,7 @@ class ExperimentContext:
                 adapter_pool=self.adapter_pool,
                 worker_pool=self.worker_pool,
                 store=self.store,
+                incremental=self.incremental,
             )
         return self._translated_matrix
 

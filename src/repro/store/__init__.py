@@ -28,13 +28,24 @@ from repro.store.codec import (
     CodecError,
     decode_file_result,
     decode_suite_result,
+    decode_transplant_bundle,
     decode_transplant_result,
     encode_file_result,
     encode_suite_result,
+    encode_transplant_bundle,
     encode_transplant_result,
 )
 from repro.store.fingerprint import code_fingerprint, reset_fingerprint_cache
-from repro.store.keys import canonical_bytes, content_hash, key_digest, suite_content_hash
+from repro.store.keys import (
+    FILE_DONOR_NAMESPACE,
+    FILE_RESULTS_NAMESPACE,
+    canonical_bytes,
+    content_hash,
+    donor_file_key,
+    file_result_key,
+    key_digest,
+    suite_content_hash,
+)
 
 __all__ = [
     "CODEC_VERSION",
@@ -42,17 +53,23 @@ __all__ = [
     "DEFAULT",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_ROOT",
+    "FILE_DONOR_NAMESPACE",
+    "FILE_RESULTS_NAMESPACE",
     "ArtifactStore",
     "StoreStats",
     "active_store",
     "canonical_bytes",
     "code_fingerprint",
     "content_hash",
+    "donor_file_key",
+    "file_result_key",
     "decode_file_result",
     "decode_suite_result",
+    "decode_transplant_bundle",
     "decode_transplant_result",
     "encode_file_result",
     "encode_suite_result",
+    "encode_transplant_bundle",
     "encode_transplant_result",
     "get_default_store",
     "key_digest",

@@ -58,9 +58,16 @@ DEFAULT = "default"
 
 
 class StoreStats:
-    """Hit/miss/write/eviction/error counters for one store."""
+    """Hit/miss/write/eviction/error counters for one store.
 
-    __slots__ = ("hits", "misses", "writes", "evictions", "errors")
+    Besides the store-wide totals, hits and misses are bucketed per
+    *namespace* (``by_namespace``): incremental assembly reads per-file
+    artifacts (``file-results``, ``file-donor``) and its effectiveness — how
+    much of a campaign was assembled rather than executed — is exactly those
+    namespaces' hit rates, which the pipeline benchmarks report.
+    """
+
+    __slots__ = ("hits", "misses", "writes", "evictions", "errors", "by_namespace")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -68,6 +75,9 @@ class StoreStats:
         self.writes = 0
         self.evictions = 0
         self.errors = 0
+        #: namespace -> {"hits": int, "misses": int}; mutated under the
+        #: owning store's lock
+        self.by_namespace: dict[str, dict[str, int]] = {}
 
     @property
     def lookups(self) -> int:
@@ -78,8 +88,47 @@ class StoreStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    def count_lookup(self, namespace: str, hit: bool) -> None:
+        """Record one load outcome (caller holds the owning store's lock)."""
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        bucket = self.by_namespace.get(namespace)
+        if bucket is None:
+            bucket = self.by_namespace[namespace] = {"hits": 0, "misses": 0}
+        bucket["hits" if hit else "misses"] += 1
+
+    def demote_hit(self, namespace: str) -> None:
+        """Reclassify the namespace's latest hit as a miss.
+
+        Used by :meth:`ArtifactStore.invalidate` when a client could not
+        decode a blob the pickle layer read fine: the artifact was never
+        usable, so counting it as a hit would overstate assembly reuse.
+        """
+        self.hits = max(0, self.hits - 1)
+        self.misses += 1
+        bucket = self.by_namespace.get(namespace)
+        if bucket is None:
+            bucket = self.by_namespace[namespace] = {"hits": 0, "misses": 0}
+        bucket["hits"] = max(0, bucket["hits"] - 1)
+        bucket["misses"] += 1
+
     def reset(self) -> None:
         self.hits = self.misses = self.writes = self.evictions = self.errors = 0
+        self.by_namespace = {}
+
+    def namespace_hit_rates(self) -> dict[str, dict[str, Any]]:
+        """Per-namespace lookup counters plus derived hit rates."""
+        rates: dict[str, dict[str, Any]] = {}
+        for namespace, bucket in self.by_namespace.items():
+            lookups = bucket["hits"] + bucket["misses"]
+            rates[namespace] = {
+                "hits": bucket["hits"],
+                "misses": bucket["misses"],
+                "hit_rate": round(bucket["hits"] / lookups, 4) if lookups else 0.0,
+            }
+        return rates
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -89,6 +138,9 @@ class StoreStats:
             "evictions": self.evictions,
             "errors": self.errors,
             "hit_rate": round(self.hit_rate, 4),
+            # distinct from ArtifactStore.namespace_stats(), which reports
+            # disk footprint: these are this process's lookup counters
+            "namespace_lookups": self.namespace_hit_rates(),
         }
 
 
@@ -141,7 +193,7 @@ class ArtifactStore:
                 raise ValueError(f"artifact header mismatch: {version!r}/{stored_namespace!r}")
         except FileNotFoundError:
             with self._lock:
-                self.stats.misses += 1
+                self.stats.count_lookup(namespace, hit=False)
             return default
         except Exception:
             # unreadable, truncated, or unpicklable: behave as if it never
@@ -151,14 +203,14 @@ class ArtifactStore:
             self._discard_counted(path)
             with self._lock:
                 self.stats.errors += 1
-                self.stats.misses += 1
+                self.stats.count_lookup(namespace, hit=False)
             return default
         try:
             os.utime(path)  # freshen for LRU eviction
         except OSError:
             pass
         with self._lock:
-            self.stats.hits += 1
+            self.stats.count_lookup(namespace, hit=True)
         return value
 
     def save(self, namespace: str, key: Any, value: Any) -> bool:
@@ -202,6 +254,21 @@ class ArtifactStore:
         value = producer()
         self.save(namespace, key, value)
         return value
+
+    def invalidate(self, namespace: str, key: Any) -> None:
+        """Delete an artifact a client just loaded but could not decode.
+
+        The store's own corruption handling stops at the pickle layer; codec
+        frames (``repro.store.codec``) carry their own digests and can be
+        garbled inside a perfectly readable pickle.  Clients that hit a
+        :class:`~repro.store.codec.CodecError` call this so the blob is
+        discarded like any other corruption — and the preceding load's hit is
+        reclassified as a miss, keeping assembly hit rates honest.
+        """
+        self._discard_counted(self.path_for(namespace, key))
+        with self._lock:
+            self.stats.errors += 1
+            self.stats.demote_hit(namespace)
 
     # -- maintenance -------------------------------------------------------------------
 

@@ -53,9 +53,11 @@ __all__ = [
     "CodecError",
     "decode_file_result",
     "decode_suite_result",
+    "decode_transplant_bundle",
     "decode_transplant_result",
     "encode_file_result",
     "encode_suite_result",
+    "encode_transplant_bundle",
     "encode_transplant_result",
     "fault_reports_for",
 ]
@@ -263,52 +265,68 @@ def _decode_file_section(section: dict, test_file: TestFile, strings: list[str],
             suite=strings[section["suite"]],
             host=strings[section["host"]],
         )
-        comparisons = {entry[0]: entry for entry in section["cmp"]}
-        executions = {entry[0]: entry for entry in section["exe"]}
+        # hot loop: the sparse comparison/execution columns are written in
+        # position order, so a pointer walk replaces two dict lookups per
+        # record; dataclasses are built around __init__ (plain __dict__
+        # instances are field-for-field identical — same equality, canonical
+        # bytes, and pickle — at a fraction of the per-record constructor
+        # cost); every per-record global is bound to a local
+        comparisons = section["cmp"]
+        executions = section["exe"]
         outcomes = section["oc"]
         reasons = section["rs"]
         errors = section["er"]
         error_types = section["et"]
-        results = file_result.results
+        append = file_result.results.append
+        char_to_outcome = _CHAR_TO_OUTCOME
+        char_to_status = _CHAR_TO_STATUS
+        decode_value = _decode_value
+        new_comparison = ComparisonResult.__new__
+        new_execution = ExecutionOutcome.__new__
+        new_record_result = RecordResult.__new__
+        cmp_cursor = exe_cursor = 0
+        cmp_count = len(comparisons)
+        exe_count = len(executions)
         for position, record_index in enumerate(section["ri"]):
             comparison = None
-            entry = comparisons.get(position)
-            if entry is not None:
-                comparison = ComparisonResult(
-                    matches=bool(entry[1]),
-                    reason=strings[entry[2]],
-                    expected_preview=[strings[index] for index in entry[4]],
-                    actual_preview=[strings[index] for index in entry[5]],
-                    mismatch_kind=strings[entry[3]],
-                )
+            if cmp_cursor < cmp_count and comparisons[cmp_cursor][0] == position:
+                entry = comparisons[cmp_cursor]
+                cmp_cursor += 1
+                comparison = new_comparison(ComparisonResult)
+                comparison.__dict__ = {
+                    "matches": bool(entry[1]),
+                    "reason": strings[entry[2]],
+                    "expected_preview": [strings[index] for index in entry[4]],
+                    "actual_preview": [strings[index] for index in entry[5]],
+                    "mismatch_kind": strings[entry[3]],
+                }
             execution = None
-            entry = executions.get(position)
-            if entry is not None:
-                # hot loop: build the dataclasses around __init__ (plain
-                # __dict__ instances are field-for-field identical — same
-                # equality, canonical bytes, and pickle — at a fraction of
-                # the per-record constructor cost)
-                execution = ExecutionOutcome.__new__(ExecutionOutcome)
+            if exe_cursor < exe_count and executions[exe_cursor][0] == position:
+                entry = executions[exe_cursor]
+                exe_cursor += 1
+                execution = new_execution(ExecutionOutcome)
                 execution.__dict__ = {
-                    "status": _CHAR_TO_STATUS[entry[1]],
+                    "status": char_to_status[entry[1]],
                     "columns": [strings[index] for index in entry[2]],
-                    "rows": [[_decode_value(value, strings) for value in row] for row in entry[3]],
+                    "rows": [[decode_value(value, strings) for value in row] for row in entry[3]],
                     "rendered": [[strings[index] for index in row] for row in entry[4]],
                     "error": strings[entry[5]],
                     "error_type": strings[entry[6]],
                     "statement": strings[entry[7]],
                 }
-            record_result = RecordResult.__new__(RecordResult)
+            record_result = new_record_result(RecordResult)
             record_result.__dict__ = {
                 "record": records[record_index],
-                "outcome": _CHAR_TO_OUTCOME[outcomes[position]],
+                "outcome": char_to_outcome[outcomes[position]],
                 "reason": strings[reasons[position]],
                 "error": strings[errors[position]],
                 "error_type": strings[error_types[position]],
                 "comparison": comparison,
                 "execution": execution,
             }
-            results.append(record_result)
+            append(record_result)
+        if cmp_cursor != cmp_count or exe_cursor != exe_count:
+            raise CodecError("file section has comparison/execution entries for unknown positions")
     except CodecError:
         raise
     except (IndexError, KeyError, TypeError, ValueError) as error:
@@ -463,6 +481,84 @@ def decode_transplant_result(blob: bytes, suite: TestSuite, verify: bool = False
     except (IndexError, KeyError, TypeError) as error:
         raise CodecError(f"malformed transplant document: {error}") from error
     suite_result = _decode_suite_document(document["s"], suite, strings, verify=verify)
+    crashes, hangs = fault_reports_for(suite_result, host)
+    return TransplantResult(
+        suite=suite_name, host=host, donor=donor, result=suite_result, crashes=crashes, hangs=hangs
+    )
+
+
+# -- transplant bundles -----------------------------------------------------------
+#
+# The matrix-cell payload format of the incremental-assembly era: a small
+# header plus one *independent* per-file codec frame per suite file — the
+# exact frames the ``file-results`` namespace stores.  A suite-level entry is
+# therefore assembled from already-encoded per-file artifacts by byte reuse
+# (no re-encoding, no re-interning), which is what keeps the edit-one-file
+# rebuild path fast; monolithic frames (``encode_transplant_result``) remain
+# for callers that want one self-contained blob, and cell *reads* accept both.
+
+#: Bundle kind tag (the dict-payload analogue of the frame magic).
+BUNDLE_KIND = "transplant-bundle"
+
+
+def encode_transplant_bundle(
+    result: "TransplantResult",  # noqa: F821
+    suite: TestSuite,
+    file_blobs: "list[bytes | None] | None" = None,
+) -> dict:
+    """Build a matrix-cell bundle: header dict + per-file codec frames.
+
+    ``file_blobs`` supplies already-encoded frames positionally (loaded from
+    the ``file-results`` namespace or encoded moments ago for it); ``None``
+    entries — and a missing list — are encoded here.  Raises
+    :class:`CodecError` for results that cannot be encoded, exactly like the
+    monolithic encoder.
+    """
+    if len(result.result.files) != len(suite.files):
+        raise CodecError(
+            f"transplant result has {len(result.result.files)} files, suite has {len(suite.files)}"
+        )
+    blobs: list[bytes] = []
+    for position, (file_result, test_file) in enumerate(zip(result.result.files, suite.files)):
+        blob = file_blobs[position] if file_blobs is not None else None
+        if blob is None:
+            blob = encode_file_result(file_result, test_file)
+        blobs.append(blob)
+    return {
+        "k": BUNDLE_KIND,
+        "v": CODEC_VERSION,
+        "suite": result.suite,
+        "host": result.host,
+        "donor": result.donor,
+        "result_suite": result.result.suite,
+        "result_host": result.result.host,
+        "files": blobs,
+    }
+
+
+def decode_transplant_bundle(payload: Any, suite: TestSuite, verify: bool = False) -> "TransplantResult":  # noqa: F821
+    """Rebuild a matrix cell from a bundle; any mismatch is a :class:`CodecError`."""
+    from repro.core.transplant import TransplantResult
+
+    if not isinstance(payload, dict) or payload.get("k") != BUNDLE_KIND:
+        raise CodecError(f"not a {BUNDLE_KIND!r} payload")
+    if payload.get("v") != CODEC_VERSION:
+        raise CodecError(f"bundle codec version {payload.get('v')} != {CODEC_VERSION}")
+    try:
+        suite_name = payload["suite"]
+        host = payload["host"]
+        donor = payload["donor"]
+        suite_result = SuiteResult(suite=payload["result_suite"], host=payload["result_host"])
+        blobs = payload["files"]
+    except KeyError as error:
+        raise CodecError(f"malformed transplant bundle: missing {error}") from error
+    if not isinstance(blobs, list) or len(blobs) != len(suite.files):
+        raise CodecError(
+            f"stored bundle has {len(blobs) if isinstance(blobs, list) else '??'} files, "
+            f"live suite has {len(suite.files)}"
+        )
+    for blob, test_file in zip(blobs, suite.files):
+        suite_result.files.append(decode_file_result(blob, test_file, verify=verify))
     crashes, hangs = fault_reports_for(suite_result, host)
     return TransplantResult(
         suite=suite_name, host=host, donor=donor, result=suite_result, crashes=crashes, hangs=hangs

@@ -89,11 +89,90 @@ def content_hash(value: Any) -> str:
     return digest
 
 
+#: Per-object memo for :func:`suite_content_hash` (separate from the generic
+#: :func:`content_hash` memo: the two functions hash the same object to
+#: different digests, so they must not share entries).
+_SUITE_HASH_MEMO: dict[int, tuple["weakref.ref", str]] = {}
+
+
 def suite_content_hash(suite: Any) -> str:
     """Stable content hash of a parsed :class:`~repro.core.records.TestSuite`.
 
     Two suites generated from the same profile/seed/scale in different
     processes hash identically, which is what lets donor-run artifacts written
     by one campaign be found by the next.
+
+    The digest is derived from the suite's name and its files' *per-file*
+    content hashes — the same hashes that key the ``file-results`` assembly
+    artifacts — rather than one canonical walk over every record.  Editing
+    one file of a campaign's suite therefore re-hashes only that file (the
+    others are served from the per-object memo), which keeps the warm
+    incremental rebuild's keying cost proportional to the edit, not the
+    suite.
     """
-    return content_hash(suite)
+    memo_key = id(suite)
+    entry = _SUITE_HASH_MEMO.get(memo_key)
+    if entry is not None:
+        ref, digest = entry
+        if ref() is suite:
+            return digest
+    payload = canonical_bytes({"name": suite.name, "files": [content_hash(test_file) for test_file in suite.files]})
+    digest = hashlib.sha256(payload).hexdigest()
+    try:
+        ref = weakref.ref(suite, lambda _ref, _key=memo_key: _SUITE_HASH_MEMO.pop(_key, None))
+    except TypeError:
+        return digest  # unweakrefable stand-ins (tests): skip the memo
+    _SUITE_HASH_MEMO[memo_key] = (ref, digest)
+    return digest
+
+
+# -- assembly namespaces and keys -------------------------------------------------
+#
+# Incremental campaigns assemble suite-level artifacts from file-level ones,
+# so the file-level namespaces and their key layouts are shared contracts
+# between the writers (sharded workers, the serial assembly path, the corpus
+# generator) and the readers (assembly in ``repro.core.parallel``,
+# ``repro.corpus.generate``).  They live here so every party addresses
+# byte-identical keys.
+
+#: Per-file execution results (compact codec frames), written by store-aware
+#: workers and the serial assembly path alike.
+FILE_RESULTS_NAMESPACE = "file-results"
+
+#: Per-file donor recordings (serialized corpus file texts), written by
+#: ``repro.corpus.generate`` so corpus edits regenerate only changed files.
+FILE_DONOR_NAMESPACE = "file-donor"
+
+
+def file_result_key(spec: Any, test_file: Any) -> dict:
+    """Store key of one file's results under one runner configuration.
+
+    Keyed on the *file's* content (not the whole suite's), so a campaign
+    whose suite gained, lost, or edited files still reuses every unchanged
+    file — the unit of incremental assembly.  ``spec`` is a
+    :class:`~repro.core.parallel.RunnerSpec` (or an equivalent mapping); it
+    joins the key because the same file produces different results under a
+    different host, tolerance, or translation setting.  ``content_hash``
+    memoizes per file object, so repeat runs in one process hash each file
+    once.
+    """
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        spec_payload: Any = dataclasses.asdict(spec)
+    else:
+        spec_payload = dict(spec)
+    return {"file_hash": content_hash(test_file), "spec": spec_payload}
+
+
+def donor_file_key(suite: str, records_per_file: int, seed: int, index: int) -> dict:
+    """Store key of one donor-recorded corpus file.
+
+    Deliberately independent of the corpus's ``file_count``: the per-file
+    generator seed depends only on ``(suite, seed, index)``, so growing a
+    corpus from N to N+k files reuses all N existing recordings.
+    """
+    return {
+        "suite": suite,
+        "records_per_file": records_per_file,
+        "seed": seed,
+        "index": index,
+    }

@@ -22,6 +22,8 @@ import pickle
 
 import pytest
 
+from test_differential import assert_equivalent
+
 from repro.core.transplant import DONOR_OF_SUITE, run_matrix, run_transplant
 from repro.corpus import build_suite
 from repro.store import (
@@ -139,6 +141,65 @@ class TestRoundtrip:
         )
 
 
+class TestTransplantBundles:
+    """The assembled-cell format: header + independent per-file frames."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        suite = _suite_for("slt")
+        result = run_transplant(suite, "duckdb", store=None)
+        return suite, result
+
+    def test_bundle_roundtrip(self, workload):
+        suite, result = workload
+        bundle = codec_module.encode_transplant_bundle(result, suite)
+        decoded = codec_module.decode_transplant_bundle(bundle, suite, verify=True)
+        assert canonical_bytes(decoded) == canonical_bytes(result)
+        assert canonical_bytes(decoded.crashes) == canonical_bytes(result.crashes)
+
+    def test_bundle_from_preencoded_frames_reuses_bytes(self, workload):
+        """Supplying file-results frames must splice them in verbatim —
+        assembly is byte reuse, not re-encoding."""
+        suite, result = workload
+        frames = [
+            encode_file_result(file_result, test_file)
+            for file_result, test_file in zip(result.result.files, suite.files)
+        ]
+        bundle = codec_module.encode_transplant_bundle(result, suite, file_blobs=frames)
+        assert all(stored is frame for stored, frame in zip(bundle["files"], frames))
+        decoded = codec_module.decode_transplant_bundle(bundle, suite, verify=True)
+        assert canonical_bytes(decoded) == canonical_bytes(result)
+
+    def test_bundle_fills_in_missing_frames(self, workload):
+        suite, result = workload
+        frames = [None] * len(suite.files)
+        frames[0] = encode_file_result(result.result.files[0], suite.files[0])
+        bundle = codec_module.encode_transplant_bundle(result, suite, file_blobs=frames)
+        decoded = codec_module.decode_transplant_bundle(bundle, suite, verify=True)
+        assert canonical_bytes(decoded) == canonical_bytes(result)
+
+    def test_bundle_rejects_wrong_shape_and_version(self, workload):
+        suite, result = workload
+        bundle = codec_module.encode_transplant_bundle(result, suite)
+        with pytest.raises(CodecError):
+            codec_module.decode_transplant_bundle({"k": "other"}, suite)
+        with pytest.raises(CodecError):
+            codec_module.decode_transplant_bundle({**bundle, "v": codec_module.CODEC_VERSION + 1}, suite)
+        with pytest.raises(CodecError):
+            codec_module.decode_transplant_bundle({**bundle, "files": bundle["files"][:-1]}, suite)
+        smaller = build_suite("slt", file_count=1, records_per_file=20, seed=13, store=None)
+        with pytest.raises(CodecError):
+            codec_module.decode_transplant_bundle(bundle, smaller)
+
+    def test_bundle_with_corrupt_frame_is_rejected(self, workload):
+        suite, result = workload
+        bundle = codec_module.encode_transplant_bundle(result, suite)
+        garbled = dict(bundle)
+        garbled["files"] = [bundle["files"][0][: len(bundle["files"][0]) // 2]] + bundle["files"][1:]
+        with pytest.raises(CodecError):
+            codec_module.decode_transplant_bundle(garbled, suite)
+
+
 class TestRejection:
     @pytest.fixture(scope="class")
     def encoded(self):
@@ -206,15 +267,17 @@ class TestWarmCellParity:
         suites = {"slt": build_suite("slt", file_count=4, records_per_file=25, seed=31, store=None)}
         with store_disabled():
             reference = run_matrix(suites, store=store)
-        cold = run_matrix(suites, store=store)
-        warm_serial = run_matrix(suites, store=store)
-        warm_sharded = run_matrix(suites, store=store, workers=4, executor="thread")
-        assert store.stats.hits >= len(reference.entries), "warm campaigns must serve every cell from the store"
-        for key in reference.entries:
-            expected = canonical_bytes(reference.entries[key].result)
-            assert canonical_bytes(cold.entries[key].result) == expected, key
-            assert canonical_bytes(warm_serial.entries[key].result) == expected, key
-            assert canonical_bytes(warm_sharded.entries[key].result) == expected, key
+        results = assert_equivalent(
+            {
+                "storeless": reference,
+                "cold": lambda: run_matrix(suites, store=store),
+                "warm-serial": lambda: run_matrix(suites, store=store),
+                "warm-workers-4": lambda: run_matrix(suites, store=store, workers=4, executor="thread"),
+            }
+        )
+        assert store.stats.hits >= len(results["storeless"].entries), (
+            "warm campaigns must serve every cell from the store"
+        )
 
     def test_store_aware_workers_persist_and_reuse_file_results(self, store):
         suite = build_suite("slt", file_count=4, records_per_file=20, seed=32, store=None)

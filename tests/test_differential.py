@@ -1,0 +1,129 @@
+"""Differential test harness: campaign variants that must be byte-identical.
+
+The incremental-campaign machinery rests on a family of equality guarantees —
+incremental == full re-execution, warm store == cold == storeless, workers 1
+== workers 4 — and every one of them is "byte-identical under the canonical
+serialization" (:func:`repro.store.canonical_bytes`), not merely
+"same aggregates".  :func:`assert_equivalent` is the single reusable way to
+pin such guarantees: hand it labelled campaign variants and it asserts that
+every one produces the same canonical bytes.  test_parallel.py and
+test_codec.py build their parity checks on it instead of copy-pasting
+aggregate comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import TestSuite
+from repro.core.transplant import run_transplant
+from repro.corpus import build_suite
+from repro.store import ArtifactStore, canonical_bytes
+
+
+def assert_equivalent(campaign_variants):
+    """Assert that every labelled campaign variant is byte-identical.
+
+    ``campaign_variants`` maps a label to either a zero-argument callable
+    producing a result or an already-computed result.  Results may be
+    anything the canonical serialization can walk — ``TransplantResult``,
+    ``SuiteResult``, ``TransplantMatrix``, lists of them, ...  Variants run
+    in mapping order (so a "cold" variant can populate a store that a later
+    "warm" variant reads), the first is the reference, and any divergence
+    fails with the offending labels.  Returns label -> result so callers can
+    make additional variant-specific assertions.
+    """
+    if not campaign_variants:
+        raise ValueError("assert_equivalent needs at least one campaign variant")
+    results = {}
+    reference_label = None
+    reference_bytes = None
+    for label, variant in campaign_variants.items():
+        value = variant() if callable(variant) else variant
+        results[label] = value
+        rendered = canonical_bytes(value)
+        if reference_bytes is None:
+            reference_label, reference_bytes = label, rendered
+        else:
+            assert rendered == reference_bytes, (
+                f"campaign variant {label!r} diverges from {reference_label!r}"
+            )
+    return results
+
+
+#: The two transplant legs the parity satellites have always pinned: the SLT
+#: suite on DuckDB (plain) and the PostgreSQL suite on MySQL (translated).
+WORKLOADS = (
+    ("slt", "duckdb", False),
+    ("postgres", "mysql", True),
+)
+
+
+def _wipe(store: ArtifactStore, *namespaces: str) -> None:
+    """Delete every artifact of the given namespaces (forces re-derivation)."""
+    for namespace in namespaces:
+        for path in (store.root / namespace).rglob("*.pkl"):
+            path.unlink()
+
+
+class TestCampaignVariants:
+    """The full equivalence lattice on both reference workloads."""
+
+    @pytest.mark.parametrize("suite_name,host,translate", WORKLOADS)
+    def test_incremental_warm_sharded_and_full_all_match(self, suite_name, host, translate, tmp_path):
+        suite = build_suite(suite_name, file_count=4, records_per_file=20, seed=23, store=None)
+        store = ArtifactStore(root=tmp_path / "store", fingerprint="diff-fp")
+        full_store = ArtifactStore(root=tmp_path / "full-store", fingerprint="diff-fp")
+
+        def run(**kwargs):
+            return lambda: run_transplant(suite, host, translate_dialect=translate, **kwargs)
+
+        def assembled(**kwargs):
+            # drop the suite-level cells so the run must assemble from the
+            # per-file artifacts the cold variant persisted
+            def invoke():
+                _wipe(store, "matrix-cells", "donor-runs")
+                return run_transplant(suite, host, translate_dialect=translate, store=store, **kwargs)
+
+            return invoke
+
+        variants = assert_equivalent(
+            {
+                "storeless-serial": run(store=None),
+                "storeless-workers-4": run(store=None, workers=4, executor="thread"),
+                "full-no-incremental": run(store=full_store, incremental=False),
+                "incremental-cold": run(store=store),
+                "warm-replay": run(store=store),
+                "assembled-serial": assembled(),
+                "assembled-workers-4": assembled(workers=4, executor="thread"),
+            }
+        )
+        assert variants["warm-replay"].result.total_cases > 0
+
+    @pytest.mark.parametrize("suite_name,host,translate", WORKLOADS)
+    def test_single_file_edit_matches_full_re_execution(self, suite_name, host, translate, tmp_path):
+        base = build_suite(suite_name, file_count=4, records_per_file=20, seed=23, store=None)
+        donor = build_suite(suite_name, file_count=4, records_per_file=20, seed=24, store=None)
+        # "edit" file 2: same path, different content (a donor file from
+        # another seed), exactly what a hand-edited scenario file looks like
+        edited = TestSuite(name=base.name, files=[*base.files[:2], donor.files[2], *base.files[3:]])
+        assert edited.files[2].path == base.files[2].path
+
+        store = ArtifactStore(root=tmp_path / "store", fingerprint="diff-fp")
+        run_transplant(base, host, translate_dialect=translate, store=store)  # seed per-file artifacts
+        store.stats.reset()
+
+        results = assert_equivalent(
+            {
+                "storeless-serial": lambda: run_transplant(edited, host, translate_dialect=translate, store=None),
+                "storeless-workers-4": lambda: run_transplant(
+                    edited, host, translate_dialect=translate, store=None, workers=4, executor="thread"
+                ),
+                "incremental-rebuild": lambda: run_transplant(edited, host, translate_dialect=translate, store=store),
+            }
+        )
+        # the incremental rebuild must have loaded the three untouched files
+        # and executed exactly the edited one
+        lookups = store.stats.by_namespace["file-results"]
+        assert lookups == {"hits": 3, "misses": 1}
+        assert results["incremental-rebuild"].result.total_cases > 0

@@ -1,0 +1,251 @@
+"""Incremental campaign assembly: per-file reuse, fallbacks, and corpus sharding.
+
+What must hold (and is pinned here):
+
+* a suite-level store miss assembles the result from per-file ``file-results``
+  artifacts and executes *only* the files with no usable artifact,
+* a corrupted / truncated / version-bumped per-file blob falls back to
+  executing that one file — never aborting the suite, never serving garbage —
+  and the bad blob is discarded,
+* ``incremental=False`` restores the execute-whole-suites path,
+* corpus generation is incremental too: per-file donor recordings persist in
+  ``file-donor`` and sharded generation is byte-identical to serial.
+
+Byte-level equivalence across whole campaign variants lives in
+test_differential.py; these tests pin the mechanics and the counters.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from test_differential import _wipe, assert_equivalent
+
+from repro.core.records import TestSuite
+from repro.core.transplant import run_transplant
+from repro.corpus import build_suite
+from repro.corpus.generate import generate_corpus
+from repro.store import ArtifactStore, canonical_bytes, store_disabled
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(root=tmp_path / "store", fingerprint="incremental-fp")
+
+
+def _edit_file(base: TestSuite, donor: TestSuite, index: int) -> TestSuite:
+    """The suite with file ``index`` replaced by another seed's file (an "edit")."""
+    files = list(base.files)
+    files[index] = donor.files[index]
+    return TestSuite(name=base.name, files=files)
+
+
+class TestAssembly:
+    def test_single_file_edit_executes_only_that_file(self, store):
+        base = build_suite("slt", file_count=4, records_per_file=15, seed=61, store=None)
+        donor = build_suite("slt", file_count=4, records_per_file=15, seed=62, store=None)
+        edited = _edit_file(base, donor, 2)
+        run_transplant(base, "duckdb", store=store)
+        store.stats.reset()
+        incremental = run_transplant(edited, "duckdb", store=store)
+        assert store.stats.by_namespace["file-results"] == {"hits": 3, "misses": 1}
+        with store_disabled():
+            reference = run_transplant(edited, "duckdb", store=store)
+        assert canonical_bytes(incremental) == canonical_bytes(reference)
+
+    def test_fully_warm_assembly_executes_nothing(self, store):
+        suite = build_suite("slt", file_count=3, records_per_file=15, seed=61, store=None)
+        cold = run_transplant(suite, "duckdb", store=store)
+        # evict the suite-level cell (as LRU pressure would): the per-file
+        # artifacts alone must reconstitute the cell without execution
+        _wipe(store, "matrix-cells")
+        store.stats.reset()
+        warm = run_transplant(suite, "duckdb", store=store)
+        assert store.stats.by_namespace["file-results"] == {"hits": 3, "misses": 0}
+        assert canonical_bytes(warm) == canonical_bytes(cold)
+        # and the assembled run re-persisted the suite-level cell
+        assert list((store.root / "matrix-cells").rglob("*.pkl"))
+
+    def test_fully_warm_assembly_never_leases_an_adapter(self, store):
+        """A rebuild with every file warm must not acquire (and reset) a
+        pooled adapter it will never execute on; a partial rebuild must."""
+        from repro.adapters.pool import AdapterPool
+
+        base = build_suite("slt", file_count=3, records_per_file=15, seed=68, store=None)
+        donor = build_suite("slt", file_count=3, records_per_file=15, seed=69, store=None)
+        cold = run_transplant(base, "duckdb", store=store)
+        _wipe(store, "matrix-cells")
+        pool = AdapterPool()
+        try:
+            warm = run_transplant(base, "duckdb", store=store, pool=pool)
+            stats = pool.stats()
+            assert stats["created"] == 0 and stats["reused"] == 0
+            assert canonical_bytes(warm) == canonical_bytes(cold)
+            # an edit forces one execution, which does lease from the pool
+            edited = _edit_file(base, donor, 1)
+            run_transplant(edited, "duckdb", store=store, pool=pool)
+            assert pool.stats()["created"] == 1
+        finally:
+            pool.close()
+
+    def test_assembly_spans_hosts_and_worker_counts(self, store):
+        """Per-file artifacts written by sharded workers serve the serial
+        assembly path and vice versa (same keys, same namespace)."""
+        suite = build_suite("slt", file_count=4, records_per_file=15, seed=63, store=None)
+        sharded_cold = run_transplant(suite, "duckdb", workers=4, executor="thread", store=store)
+        _wipe(store, "matrix-cells", "donor-runs")
+        store.stats.reset()
+        serial_warm = run_transplant(suite, "duckdb", store=store)
+        assert store.stats.by_namespace["file-results"] == {"hits": 4, "misses": 0}
+        assert canonical_bytes(serial_warm) == canonical_bytes(sharded_cold)
+
+    def test_truncated_file_blob_falls_back_to_executing_that_file(self, store):
+        """Regression: a garbled ``file-results`` payload mid-assembly must
+        execute that one file, not abort the suite or poison the result."""
+        suite = build_suite("slt", file_count=3, records_per_file=15, seed=64, store=None)
+        cold = run_transplant(suite, "duckdb", store=store)
+        _wipe(store, "matrix-cells")
+        # truncate one per-file codec frame *inside* its (still valid) pickle:
+        # the store layer reads it fine, only the codec can notice
+        victim = sorted((store.root / "file-results").rglob("*.pkl"))[0]
+        version, namespace, blob = pickle.loads(victim.read_bytes())
+        victim.write_bytes(pickle.dumps((version, namespace, blob[: len(blob) // 2])))
+        store.stats.reset()
+        warm = run_transplant(suite, "duckdb", store=store)
+        assert canonical_bytes(warm) == canonical_bytes(cold)
+        # the unusable blob is reclassified as a miss (and was re-executed)
+        assert store.stats.by_namespace["file-results"] == {"hits": 2, "misses": 1}
+        assert store.stats.errors >= 1
+        # the fallback overwrote the bad blob: the next assembly is all-hit
+        _wipe(store, "matrix-cells")
+        store.stats.reset()
+        rewarmed = run_transplant(suite, "duckdb", store=store)
+        assert store.stats.by_namespace["file-results"] == {"hits": 3, "misses": 0}
+        assert canonical_bytes(rewarmed) == canonical_bytes(cold)
+
+    def test_version_bumped_file_blob_is_a_miss_not_an_abort(self, store, monkeypatch):
+        suite = build_suite("slt", file_count=3, records_per_file=15, seed=64, store=None)
+        cold = run_transplant(suite, "duckdb", store=store)
+        _wipe(store, "matrix-cells")
+        victim = sorted((store.root / "file-results").rglob("*.pkl"))[0]
+        version, namespace, blob = pickle.loads(victim.read_bytes())
+        bumped = blob[:3] + bytes([blob[3] + 1]) + blob[4:]  # magic "RRC" + version byte
+        victim.write_bytes(pickle.dumps((version, namespace, bumped)))
+        warm = run_transplant(suite, "duckdb", store=store)
+        assert canonical_bytes(warm) == canonical_bytes(cold)
+
+    def test_sharded_assembly_counts_each_missing_file_once(self, store):
+        """Sharded execution of assembly misses must not re-probe (and
+        re-count) the files assembly already looked up."""
+        base = build_suite("slt", file_count=4, records_per_file=15, seed=66, store=None)
+        donor = build_suite("slt", file_count=4, records_per_file=15, seed=67, store=None)
+        edited = _edit_file(_edit_file(base, donor, 1), donor, 3)
+        run_transplant(base, "duckdb", workers=4, executor="thread", store=store)
+        store.stats.reset()
+        incremental = run_transplant(edited, "duckdb", workers=4, executor="thread", store=store)
+        assert store.stats.by_namespace["file-results"] == {"hits": 2, "misses": 2}
+        with store_disabled():
+            reference = run_transplant(edited, "duckdb", store=store)
+        assert canonical_bytes(incremental) == canonical_bytes(reference)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_no_incremental_skips_file_level_artifacts(self, store, workers):
+        """The opt-out really opts out — including inside sharded workers,
+        which are store-aware only when the incremental feature is on."""
+        suite = build_suite("slt", file_count=3, records_per_file=15, seed=65, store=None)
+        full = run_transplant(suite, "duckdb", store=store, incremental=False, workers=workers, executor="thread")
+        # no per-file artifacts were written or probed...
+        assert "file-results" not in store.stats.by_namespace
+        assert not (store.root / "file-results").exists()
+        # ...but the suite-level cell still memoizes the warm replay
+        store.stats.reset()
+        warm = run_transplant(suite, "duckdb", store=store, incremental=False, workers=workers, executor="thread")
+        assert store.stats.by_namespace["matrix-cells"] == {"hits": 1, "misses": 0}
+        assert canonical_bytes(warm) == canonical_bytes(full)
+
+
+class TestIncrementalCorpus:
+    def test_sharded_generation_matches_serial(self):
+        serial = generate_corpus("postgres", file_count=4, records_per_file=12, seed=71, store=None)
+        sharded = generate_corpus(
+            "postgres", file_count=4, records_per_file=12, seed=71, store=None, workers=3, executor="thread"
+        )
+        assert_equivalent({"serial": serial, "workers-3": sharded})
+
+    @pytest.mark.parametrize("executor", ["process", "auto"])
+    def test_process_pool_generation_matches_serial(self, executor):
+        serial = generate_corpus("slt", file_count=3, records_per_file=10, seed=72, store=None)
+        sharded = generate_corpus(
+            "slt", file_count=3, records_per_file=10, seed=72, store=None, workers=2, executor=executor
+        )
+        assert_equivalent({"serial": serial, "workers-2": sharded})
+
+    def test_per_file_recordings_make_corpus_growth_incremental(self, store):
+        generate_corpus("slt", file_count=3, records_per_file=10, seed=73, store=store)
+        store.stats.reset()
+        grown = generate_corpus("slt", file_count=5, records_per_file=10, seed=73, store=store)
+        assert store.stats.by_namespace["file-donor"] == {"hits": 3, "misses": 2}
+        reference = generate_corpus("slt", file_count=5, records_per_file=10, seed=73, store=None)
+        assert_equivalent({"grown-incrementally": grown, "storeless": reference})
+
+    def test_build_suite_threads_workers_through(self, store):
+        sharded = build_suite("slt", file_count=4, records_per_file=10, seed=74, store=store, workers=3, executor="thread")
+        reference = build_suite("slt", file_count=4, records_per_file=10, seed=74, store=None)
+        assert canonical_bytes(sharded) == canonical_bytes(reference)
+        # every file's donor recording was persisted individually
+        assert len(list((store.root / "file-donor").rglob("*.pkl"))) == 4
+
+    def test_foreign_payload_at_donor_key_is_invalidated(self, store):
+        """A loadable blob that is not a recording dict must be discarded and
+        its lookup demoted to a miss, like any corrupt artifact."""
+        from repro.store import donor_file_key
+
+        generate_corpus("slt", file_count=2, records_per_file=10, seed=76, store=store)
+        _wipe(store, "corpus-files", "corpus-suites")
+        # a recording-shaped dict with an extra key must also be rejected:
+        # GeneratedFile(**entry) would crash on the unknown field
+        store.save(
+            "file-donor",
+            donor_file_key("slt", 10, 76, 0),
+            {"name": "x.test", "primary_text": "", "expected_text": None, "extra": 1},
+        )
+        store.stats.reset()
+        rebuilt = generate_corpus("slt", file_count=2, records_per_file=10, seed=76, store=store)
+        assert store.stats.by_namespace["file-donor"] == {"hits": 1, "misses": 1}
+        assert store.stats.errors >= 1
+        reference = generate_corpus("slt", file_count=2, records_per_file=10, seed=76, store=None)
+        assert_equivalent({"rebuilt": rebuilt, "storeless": reference})
+
+    def test_corrupt_per_file_recording_regenerates_only_that_file(self, store):
+        reference = generate_corpus("slt", file_count=3, records_per_file=10, seed=75, store=store)
+        # drop the whole-corpus entries so the per-file path is exercised
+        _wipe(store, "corpus-files", "corpus-suites")
+        victim = sorted((store.root / "file-donor").rglob("*.pkl"))[0]
+        victim.write_bytes(b"corrupt")
+        store.stats.reset()
+        rebuilt = generate_corpus("slt", file_count=3, records_per_file=10, seed=75, store=store)
+        assert store.stats.by_namespace["file-donor"] == {"hits": 2, "misses": 1}
+        assert_equivalent(
+            {
+                "reference": reference,
+                "rebuilt": rebuilt,
+            }
+        )
+
+
+class TestCLIAndContext:
+    def test_cli_incremental_flags_parse(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["--no-incremental", "--list"]) == 0
+        assert main(["--incremental", "--list"]) == 0
+
+    def test_context_threads_incremental_flag(self):
+        from repro.experiments.context import ExperimentContext
+
+        with ExperimentContext(incremental=False) as context:
+            assert context.incremental is False
+        with ExperimentContext() as context:
+            assert context.incremental is True

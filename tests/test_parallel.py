@@ -1,13 +1,18 @@
 """Tests for sharded suite execution (repro.core.parallel).
 
 The satellite requirement: ``workers=1`` and ``workers=4`` must produce
-identical ``SuiteResult`` aggregates — same pass/fail/skip/crash counts and the
-same per-file ordering — on an SLT→duckdb and a postgres→mysql transplant.
+byte-identical results — canonical serialization, not just matching
+aggregates — on an SLT→duckdb and a postgres→mysql transplant.  The
+comparison itself is the shared differential harness
+(:func:`test_differential.assert_equivalent`); this file covers the
+shard/merge machinery, fallbacks, and worker bookkeeping around it.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from test_differential import assert_equivalent
 
 from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
 from repro.core.parallel import RunnerSpec, run_suite_sharded, runner_spec_for
@@ -24,25 +29,6 @@ def _fresh_caches():
     perf_cache.clear_caches()
 
 
-def _aggregates(suite_result):
-    return (
-        suite_result.total_cases,
-        suite_result.executed_cases,
-        suite_result.passed_cases,
-        suite_result.failed_cases,
-        suite_result.skipped_cases,
-        suite_result.crash_cases,
-        suite_result.hang_cases,
-    )
-
-
-def _file_level(suite_result):
-    return [
-        (f.path, [(r.outcome.value, r.reason) for r in f.results])
-        for f in suite_result.files
-    ]
-
-
 class TestShardedParity:
     # store=None throughout: a persisted matrix cell would serve the second
     # run wholesale and the shard/merge machinery under test would never run
@@ -52,19 +38,23 @@ class TestShardedParity:
         suite = build_suite("slt", file_count=4, records_per_file=30, seed=11)
         with perf_cache.caching_disabled():
             serial = run_transplant(suite, "duckdb", store=None)
-        parallel = run_transplant(suite, "duckdb", workers=4, executor=executor, store=None)
-        assert _aggregates(serial.result) == _aggregates(parallel.result)
-        assert _file_level(serial.result) == _file_level(parallel.result)
-        assert len(serial.crashes) == len(parallel.crashes)
-        assert len(serial.hangs) == len(parallel.hangs)
+        assert_equivalent(
+            {
+                "serial-uncached": serial,
+                "workers-4": lambda: run_transplant(suite, "duckdb", workers=4, executor=executor, store=None),
+            }
+        )
 
     def test_postgres_suite_on_mysql_with_translation(self):
         suite = build_suite("postgres", file_count=4, records_per_file=30, seed=5)
         with perf_cache.caching_disabled():
             serial = run_transplant(suite, "mysql", translate_dialect=True, store=None)
-        parallel = run_transplant(suite, "mysql", translate_dialect=True, workers=4, store=None)
-        assert _aggregates(serial.result) == _aggregates(parallel.result)
-        assert _file_level(serial.result) == _file_level(parallel.result)
+        assert_equivalent(
+            {
+                "serial-uncached": serial,
+                "workers-4": lambda: run_transplant(suite, "mysql", translate_dialect=True, workers=4, store=None),
+            }
+        )
 
     def test_per_file_ordering_is_preserved(self):
         suite = build_suite("slt", file_count=5, records_per_file=20, seed=3)
@@ -73,9 +63,12 @@ class TestShardedParity:
 
     def test_more_workers_than_files(self):
         suite = build_suite("slt", file_count=2, records_per_file=15, seed=9)
-        serial = run_transplant(suite, "duckdb", store=None)
-        parallel = run_transplant(suite, "duckdb", workers=8, executor="thread", store=None)
-        assert _aggregates(serial.result) == _aggregates(parallel.result)
+        assert_equivalent(
+            {
+                "serial": lambda: run_transplant(suite, "duckdb", store=None),
+                "workers-8": lambda: run_transplant(suite, "duckdb", workers=8, executor="thread", store=None),
+            }
+        )
 
 
 class TestShardedRunReport:
@@ -172,4 +165,9 @@ class TestMatrixDonorReuse:
             translated = run_matrix(suites, hosts=("sqlite",), translate_dialect=True, reuse_donor_runs_from=plain)
             assert translated.get("slt", "sqlite") is not plain.get("slt", "sqlite")
             # and the recomputed donor run is still identical
-            assert _aggregates(translated.get("slt", "sqlite").result) == _aggregates(plain.get("slt", "sqlite").result)
+            assert_equivalent(
+                {
+                    "plain-donor-run": plain.get("slt", "sqlite").result,
+                    "recomputed-donor-run": translated.get("slt", "sqlite").result,
+                }
+            )

@@ -1,12 +1,25 @@
 """Property-based tests (hypothesis) for core invariants."""
 
+import random
+
 from hypothesis import given, settings, strategies as st
 
-from repro.core.comparison import normalize_value, result_hash
+from repro.adapters.base import ExecutionOutcome, ExecutionStatus
+from repro.core.comparison import ComparisonResult, normalize_value, result_hash
+from repro.core.records import QueryRecord, StatementRecord, TestFile, TestSuite
+from repro.core.runner import FileResult, RecordOutcome, RecordResult, SuiteResult
 from repro.engine.session import Session
 from repro.engine.values import compare_values, render_value
 from repro.sqlparser.statements import split_statements, statement_type
 from repro.sqlparser.tokenizer import tokenize
+from repro.store import canonical_bytes
+from repro.store.codec import (
+    CodecError,
+    decode_file_result,
+    decode_suite_result,
+    encode_file_result,
+    encode_suite_result,
+)
 
 # -- strategies -----------------------------------------------------------------
 
@@ -143,3 +156,155 @@ class TestEngineProperties:
         session.execute("ROLLBACK")
         after = session.execute("SELECT count(*), coalesce(sum(a), 0) FROM t").rows
         assert before == after
+
+
+# -- the result codec -------------------------------------------------------------
+#
+# Seeded-random fuzzing of repro.store.codec: whole FileResult/SuiteResult
+# graphs over random dialects and hosts, with unicode text, NULLs, and float
+# edge cases (signed zero, huge/tiny magnitudes, inf, nan) in the result rows.
+# The example-based roundtrips in test_codec.py pin realistic payloads; these
+# pin the wire format against inputs nobody wrote by hand.
+
+_FUZZ_DIALECTS = ("slt", "postgres", "duckdb", "mysql")
+_FUZZ_HOSTS = ("sqlite", "postgres", "duckdb", "mysql")
+
+_EDGE_STRINGS = (
+    "",
+    "NULL",
+    "0",
+    "-0.0",
+    "héllo wörld",
+    "函数测试",
+    "🦆 ♫ 𝄞",
+    "tab\tnewline\nquote'and\"both",
+    "\x01\x02 control bytes",
+    "a" * 200,
+)
+
+_EDGE_FLOATS = (
+    0.0,
+    -0.0,
+    1.5,
+    -1e300,
+    1e-300,
+    5e-324,            # smallest subnormal
+    2.0**53 + 2,       # beyond exact-int float territory
+    float("inf"),
+    float("-inf"),
+    float("nan"),
+)
+
+
+def _fuzz_string(rng: random.Random) -> str:
+    return rng.choice(_EDGE_STRINGS) + str(rng.randint(0, 9))
+
+
+def _fuzz_value(rng: random.Random, depth: int = 0):
+    roll = rng.random()
+    if roll < 0.15:
+        return None
+    if roll < 0.25:
+        return rng.random() < 0.5
+    if roll < 0.45:
+        return rng.randint(-(2**63), 2**63)
+    if roll < 0.60:
+        return rng.choice(_EDGE_FLOATS) if rng.random() < 0.5 else rng.uniform(-1e6, 1e6)
+    if roll < 0.85 or depth >= 2:
+        return _fuzz_string(rng)
+    if roll < 0.93:
+        return [_fuzz_value(rng, depth + 1) for _ in range(rng.randint(0, 3))]
+    return {_fuzz_string(rng): _fuzz_value(rng, depth + 1) for _ in range(rng.randint(0, 3))}
+
+
+def _fuzz_file(rng: random.Random, index: int = 0):
+    """One random (TestFile, FileResult) pair, records attached in order."""
+    suite_name = rng.choice(_FUZZ_DIALECTS)
+    host = rng.choice(_FUZZ_HOSTS)
+    test_file = TestFile(path=f"fuzz_{index}.test", suite=suite_name)
+    file_result = FileResult(path=test_file.path, suite=suite_name, host=host)
+    for _ in range(rng.randint(1, 10)):
+        sql = "SELECT " + _fuzz_string(rng)
+        if rng.random() < 0.5:
+            record = QueryRecord(sql=sql, type_string=rng.choice(("I", "T", "RT", "ITR")))
+        else:
+            record = StatementRecord(sql=sql, expect_ok=rng.random() < 0.8)
+        test_file.records.append(record)
+        if rng.random() < 0.2:
+            continue  # a record with no result (e.g. skipped shard tail): exercises index reattachment
+        comparison = None
+        if rng.random() < 0.5:
+            comparison = ComparisonResult(
+                matches=rng.random() < 0.5,
+                reason=_fuzz_string(rng),
+                expected_preview=[_fuzz_string(rng) for _ in range(rng.randint(0, 3))],
+                actual_preview=[_fuzz_string(rng) for _ in range(rng.randint(0, 3))],
+                mismatch_kind=rng.choice(("", "row_count", "value", "hash", "format")),
+            )
+        execution = None
+        if rng.random() < 0.7:
+            columns = [f"c{column}" for column in range(rng.randint(0, 3))]
+            rows = [[_fuzz_value(rng) for _ in columns] for _ in range(rng.randint(0, 4))]
+            execution = ExecutionOutcome(
+                status=rng.choice(list(ExecutionStatus)),
+                columns=columns,
+                rows=rows,
+                rendered=[[str(value) for value in row] for row in rows],
+                error=_fuzz_string(rng),
+                error_type=rng.choice(("", "OperationalError", "EngineCrash")),
+                statement=sql,
+            )
+        file_result.results.append(
+            RecordResult(
+                record=record,
+                outcome=rng.choice(list(RecordOutcome)),
+                reason=_fuzz_string(rng),
+                error=_fuzz_string(rng),
+                error_type=rng.choice(("", "Timeout", "SQLSyntaxError")),
+                comparison=comparison,
+                execution=execution,
+            )
+        )
+    return test_file, file_result
+
+
+class TestCodecProperties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_file_result_roundtrip_on_random_suites(self, seed):
+        rng = random.Random(seed)
+        test_file, file_result = _fuzz_file(rng)
+        blob = encode_file_result(file_result, test_file)
+        decoded = decode_file_result(blob, test_file, verify=True)
+        assert canonical_bytes(decoded) == canonical_bytes(file_result)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_suite_result_roundtrip_on_random_suites(self, seed):
+        rng = random.Random(seed)
+        suite_name = rng.choice(_FUZZ_DIALECTS)
+        suite = TestSuite(name=suite_name)
+        result = SuiteResult(suite=suite_name, host=rng.choice(_FUZZ_HOSTS))
+        for index in range(rng.randint(1, 4)):
+            test_file, file_result = _fuzz_file(rng, index)
+            suite.files.append(test_file)
+            result.files.append(file_result)
+        blob = encode_suite_result(result, suite)
+        decoded = decode_suite_result(blob, suite, verify=True)
+        assert canonical_bytes(decoded) == canonical_bytes(result)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_any_single_byte_corruption_reads_as_codec_error(self, seed):
+        """Every frame byte is covered by magic/version checks or the payload
+        digest: flipping any one of them must surface as a miss, never as
+        plausible results (the invariant incremental assembly's corrupted-blob
+        fallback relies on)."""
+        import pytest
+
+        rng = random.Random(seed)
+        test_file, file_result = _fuzz_file(rng)
+        blob = bytearray(encode_file_result(file_result, test_file))
+        blob[rng.randrange(len(blob))] ^= 0xFF
+        with pytest.raises(CodecError):
+            decode_file_result(bytes(blob), test_file, verify=True)

@@ -276,9 +276,22 @@ class TestCorpusStore:
     def test_different_parameters_miss(self, store):
         build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
         hits_before = store.stats.hits
-        build_suite("slt", file_count=3, records_per_file=20, seed=5, store=store)
+        # a different seed (or records_per_file) shares nothing — every
+        # namespace, including the per-file donor recordings, misses
         build_suite("slt", file_count=2, records_per_file=20, seed=6, store=store)
         assert store.stats.hits == hits_before
+
+    def test_grown_corpus_reuses_per_file_recordings(self, store):
+        """file_count is *not* part of the per-file key: growing a corpus
+        regenerates only the new files (incremental corpus recording)."""
+        build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
+        store.stats.reset()
+        grown = build_suite("slt", file_count=3, records_per_file=20, seed=5, store=store)
+        file_donor = store.stats.by_namespace["file-donor"]
+        assert file_donor == {"hits": 2, "misses": 1}
+        with store_disabled():
+            reference = build_suite("slt", file_count=3, records_per_file=20, seed=5, store=store)
+        assert canonical_bytes(grown) == canonical_bytes(reference)
 
     def test_store_disabled_bypasses(self, store):
         build_suite("slt", file_count=2, records_per_file=20, seed=5, store=store)
@@ -306,14 +319,15 @@ class TestDonorRunStore:
 
     def test_donor_run_is_memoized(self, store, suite):
         first = run_transplant(suite, "sqlite", store=store)
-        assert store.stats.writes == 1
+        # one suite-level cell plus one incremental-assembly entry per file
+        assert store.stats.writes == 1 + len(suite.files)
         second = run_transplant(suite, "sqlite", store=store)
         assert store.stats.hits == 1
         assert canonical_bytes(first) == canonical_bytes(second)
 
     def test_cross_host_cells_are_memoized(self, store, suite):
         first = run_transplant(suite, "duckdb", store=store)
-        assert store.stats.writes == 1
+        assert store.stats.writes == 1 + len(suite.files)
         second = run_transplant(suite, "duckdb", store=store)
         assert store.stats.hits == 1
         assert canonical_bytes(first) == canonical_bytes(second)
@@ -324,7 +338,8 @@ class TestDonorRunStore:
     def test_translated_and_plain_cells_key_separately(self, store, suite):
         plain = run_transplant(suite, "duckdb", store=store)
         translated = run_transplant(suite, "duckdb", translate_dialect=True, store=store)
-        assert store.stats.writes == 2, "translate_dialect must address a different cell"
+        cells = list((store.root / "matrix-cells").rglob("*.pkl"))
+        assert len(cells) == 2, "translate_dialect must address a different cell"
         warm_plain = run_transplant(suite, "duckdb", store=store)
         warm_translated = run_transplant(suite, "duckdb", translate_dialect=True, store=store)
         assert canonical_bytes(warm_plain) == canonical_bytes(plain)
