@@ -31,7 +31,7 @@ from repro.adapters.registry import (
     get_adapter_entry,
     register_adapter,
 )
-from repro.adapters.pool import AdapterPool
+from repro.adapters.pool import AdapterPool, CircuitBreaker, adapter_breaker
 from repro.adapters.faults import FaultReport, known_fault_signatures
 
 __all__ = [
@@ -42,6 +42,8 @@ __all__ = [
     "SQLite3Adapter",
     "AdapterEntry",
     "AdapterPool",
+    "CircuitBreaker",
+    "adapter_breaker",
     "adapter_entries",
     "available_adapters",
     "create_adapter",

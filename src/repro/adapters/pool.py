@@ -30,7 +30,7 @@ from typing import Iterator
 
 from repro.adapters.base import DBMSAdapter
 from repro.adapters.registry import create_adapter, get_adapter_entry
-from repro.errors import AdapterNotFoundError
+from repro.errors import AdapterNotFoundError, AdapterQuarantinedError
 
 #: key identifying one adapter configuration
 PoolKey = tuple[str, tuple[tuple[str, object], ...]]
@@ -46,14 +46,86 @@ def pool_key(name: str, kwargs: dict) -> PoolKey:
     return (canonical, tuple(sorted(kwargs.items())))
 
 
+class CircuitBreaker:
+    """Quarantine adapter configurations that keep failing.
+
+    The resilience layer (:mod:`repro.core.resilience` consumers) records one
+    failure per failed execution attempt and one success per cleanly finished
+    unit of work, keyed by the same canonical :func:`pool_key` the pool uses.
+    ``threshold`` *consecutive* failures quarantine the key: subsequent
+    :meth:`AdapterPool.acquire` calls raise
+    :class:`~repro.errors.AdapterQuarantinedError` instead of handing out an
+    adapter that demonstrably cannot do work, and campaigns convert the
+    affected cells into partial results.  Any success resets the streak, so
+    a one-off transient fault never trips the breaker.
+
+    Thread-safe; one process-global instance (:func:`adapter_breaker`) is
+    shared by every pool by default — worker threads of one campaign each
+    hold their own :class:`AdapterPool`, and a broken adapter configuration
+    is broken for all of them.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._consecutive: dict[PoolKey, int] = {}
+        self._quarantined: dict[PoolKey, str] = {}  # key -> last failure detail
+
+    def record_failure(self, key: PoolKey, detail: str = "", threshold: int | None = None) -> bool:
+        """Count one failure; returns True when this call quarantines ``key``."""
+        limit = self.threshold if threshold is None else threshold
+        with self._lock:
+            if key in self._quarantined:
+                return False
+            streak = self._consecutive.get(key, 0) + 1
+            self._consecutive[key] = streak
+            if streak >= limit:
+                self._quarantined[key] = detail
+                return True
+        return False
+
+    def record_success(self, key: PoolKey) -> None:
+        """A clean unit of work on ``key`` resets its failure streak."""
+        with self._lock:
+            self._consecutive.pop(key, None)
+
+    def is_quarantined(self, key: PoolKey) -> bool:
+        with self._lock:
+            return key in self._quarantined
+
+    def quarantined_keys(self) -> list[PoolKey]:
+        with self._lock:
+            return sorted(self._quarantined)
+
+    def quarantine_detail(self, key: PoolKey) -> str:
+        with self._lock:
+            return self._quarantined.get(key, "")
+
+    def reset(self) -> None:
+        """Clear every streak and quarantine (tests; operator reset)."""
+        with self._lock:
+            self._consecutive.clear()
+            self._quarantined.clear()
+
+
+#: the process-global breaker every pool consults unless handed its own
+_GLOBAL_BREAKER = CircuitBreaker()
+
+
+def adapter_breaker() -> CircuitBreaker:
+    """The process-global adapter circuit breaker."""
+    return _GLOBAL_BREAKER
+
+
 class AdapterPool:
     """A keyed pool of live, reusable DBMS adapters."""
 
-    def __init__(self) -> None:
+    def __init__(self, breaker: CircuitBreaker | None = None) -> None:
         self._lock = threading.Lock()
         self._idle: dict[PoolKey, list[DBMSAdapter]] = {}
         self._leased: dict[int, tuple[PoolKey, DBMSAdapter]] = {}
         self._closed = False
+        self.breaker = breaker if breaker is not None else _GLOBAL_BREAKER
         self.created = 0
         self.reused = 0
 
@@ -63,9 +135,18 @@ class AdapterPool:
         """A live adapter for ``name``: a reset idle one, or a fresh setup.
 
         The returned adapter is connected and pristine; hand it back with
-        :meth:`release` (or use :meth:`lease`).
+        :meth:`release` (or use :meth:`lease`).  A configuration the circuit
+        breaker has quarantined raises
+        :class:`~repro.errors.AdapterQuarantinedError` instead of building an
+        adapter that demonstrably cannot do work.
         """
         key = pool_key(name, kwargs)
+        if self.breaker.is_quarantined(key):
+            detail = self.breaker.quarantine_detail(key)
+            raise AdapterQuarantinedError(
+                f"adapter {key[0]!r} is quarantined after repeated infrastructure failures"
+                + (f": {detail}" if detail else "")
+            )
         with self._lock:
             if self._closed:
                 raise RuntimeError("AdapterPool is closed")

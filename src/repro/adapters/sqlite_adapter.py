@@ -21,7 +21,14 @@ class SQLite3Adapter(DBMSAdapter):
     name = "sqlite3"
     dialect = SQLITE
 
-    def __init__(self, timeout_seconds: float = 5.0, render_style: str = "python"):
+    def __init__(self, timeout_seconds: float | None = None, render_style: str = "python"):
+        if timeout_seconds is None:
+            # resolved at construction time from the resilience configuration
+            # (set_default_timeout / REPRO_TIMEOUT_SECONDS / the built-in 5s),
+            # so fork_config() ships the *resolved* value to workers
+            from repro.core.resilience import default_timeout_seconds
+
+            timeout_seconds = default_timeout_seconds()
         self.timeout_seconds = timeout_seconds
         self.render_style = render_style
         self.connection: sqlite3.Connection | None = None
@@ -30,7 +37,10 @@ class SQLite3Adapter(DBMSAdapter):
         return (self.name, {"timeout_seconds": self.timeout_seconds, "render_style": self.render_style})
 
     def connect(self) -> None:
-        self.connection = sqlite3.connect(":memory:")
+        # check_same_thread=False: the watchdog (repro.core.resilience) hands
+        # execution to a helper thread while the owner waits on the deadline —
+        # a sequential handoff, never concurrent access to the connection
+        self.connection = sqlite3.connect(":memory:", check_same_thread=False)
         self.connection.isolation_level = None  # autocommit; BEGIN/COMMIT pass through
         # Interrupt very long statements so hang-inducing queries surface as
         # HANG outcomes instead of blocking the whole run.

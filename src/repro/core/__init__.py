@@ -32,6 +32,7 @@ from repro.core.records import (
     TestFile,
     TestSuite,
 )
+from repro.core.resilience import InfraFailure, ResiliencePolicy, RetryPolicy, default_policy
 from repro.core.runner import RecordOutcome, RecordResult, FileResult, SuiteResult, TestRunner
 from repro.core.suite import load_suite, parse_test_file
 
@@ -45,6 +46,10 @@ __all__ = [
     "StatementRecord",
     "TestFile",
     "TestSuite",
+    "InfraFailure",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "default_policy",
     "RecordOutcome",
     "RecordResult",
     "FileResult",

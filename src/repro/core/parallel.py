@@ -48,27 +48,41 @@ are byte-identical; suites that do use random() should run with ``workers=1``.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.adapters.base import DBMSAdapter
-from repro.adapters.pool import AdapterPool
+from repro.adapters.pool import AdapterPool, pool_key
 from repro.adapters.registry import available_adapters, create_adapter
-from repro.core.records import TestFile, TestSuite
-from repro.errors import AdapterNotFoundError, ShardExecutionError
-from repro.core.runner import FileResult, SuiteResult, TestRunner
+from repro.core.records import ControlRecord, TestFile, TestSuite
+from repro.core.resilience import InfraFailure, ResiliencePolicy, run_with_deadline
+from repro.errors import AdapterNotFoundError, AdapterQuarantinedError, ShardExecutionError, WatchdogTimeout
+from repro.core.runner import FileResult, RecordOutcome, RecordResult, SuiteResult, TestRunner
 from repro.perf import cache as perf_cache
 from repro.store import codec as result_codec
 from repro.store.artifacts import ArtifactStore
 from repro.store.keys import FILE_RESULTS_NAMESPACE, file_result_key
 
+logger = logging.getLogger(__name__)
+
 #: exception types that signal worker-pool *infrastructure* failure (rather
-#: than a genuine error inside a shard); both trigger thread degradation
+#: than a genuine error inside a shard); they trigger thread degradation.
+#: The classification is sound only because :func:`_run_shard` wraps *every*
+#: error raised inside a shard — including adapter-raised ``OSError``s — as
+#: :class:`ShardExecutionError` before it can reach the pool-dispatch try:
+#: an ``OSError`` seen here therefore always comes from the pool machinery
+#: itself (sandboxed semaphores, broken fork), never from shard work.
+#: ``AdapterNotFoundError`` is re-raised unwrapped by the shard on purpose —
+#: a process worker that cannot rebuild a dynamically-registered adapter is
+#: an infrastructure gap the threaded pool (which shares this process's
+#: registry) recovers from.
 _POOL_INFRA_ERRORS = (BrokenProcessPool, pickle.PicklingError, NotImplementedError, ImportError, OSError, AdapterNotFoundError)
 
 #: per-worker adapter pools, keyed by thread: each worker — a process-pool
@@ -106,11 +120,14 @@ def close_dead_worker_adapter_pools() -> None:
     with _WORKER_POOL_REGISTRY_LOCK:
         dead = [(thread, pool) for thread, pool in _WORKER_POOL_REGISTRY if not thread.is_alive()]
         _WORKER_POOL_REGISTRY[:] = [entry for entry in _WORKER_POOL_REGISTRY if entry[0].is_alive()]
-    for _thread, pool in dead:
+    for thread, pool in dead:
         try:
             pool.close()
-        except Exception:
-            pass
+        except (OSError, RuntimeError) as error:
+            # AdapterPool.close is itself best-effort, so anything landing
+            # here is infra misconfiguration worth surfacing in debug logs
+            # rather than swallowing silently
+            logger.debug("closing adapter pool of dead worker %s failed: %s", thread.name, error)
 
 
 def _reset_worker_adapter_pool() -> None:
@@ -228,6 +245,9 @@ class ShardedRunReport:
     #: by suite file index (absent for storeless runs and unencodable files);
     #: suite-level bundling reuses these instead of re-encoding
     file_blobs: dict[int, bytes] = field(default_factory=dict)
+    #: unrecovered infrastructure faults (also attached to ``result``);
+    #: empty for clean — and cleanly *recovered* — runs
+    infra_failures: list[InfraFailure] = field(default_factory=list)
 
 
 def runner_spec_for(runner: TestRunner) -> RunnerSpec | None:
@@ -267,6 +287,113 @@ def _stats_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[str, d
     return delta
 
 
+def _synthesize_file_result(host_name: str, test_file: TestFile, outcome: RecordOutcome, reason: str) -> FileResult:
+    """A stand-in :class:`FileResult` for a file infrastructure would not run.
+
+    The first SQL record carries the terminal ``outcome`` (HANG for watchdog
+    cutoffs, SKIP for quarantines and exhausted retries) and the rest are
+    SKIPped, mirroring how the runner reports a mid-file engine crash.  These
+    results are never persisted to the store — on resume the file re-executes.
+    """
+    file_result = FileResult(path=test_file.path, suite=test_file.suite, host=host_name)
+    position = 0
+    for record in test_file.records:
+        if isinstance(record, ControlRecord):
+            continue
+        if position == 0:
+            file_result.results.append(RecordResult(record=record, outcome=outcome, reason=reason, error=reason))
+        else:
+            file_result.results.append(RecordResult(record=record, outcome=RecordOutcome.SKIP, reason=reason))
+        position += 1
+    return file_result
+
+
+def _execute_shard_file(
+    spec: RunnerSpec,
+    test_file: TestFile,
+    policy: "ResiliencePolicy | None",
+    ensure_runner,
+    drop_adapter,
+    breaker,
+    breaker_key,
+) -> tuple[FileResult, bool, "InfraFailure | None"]:
+    """Run one file under the shard's resilience policy.
+
+    Returns ``(file_result, persistable, failure)``: ``persistable`` is False
+    for synthesized stand-ins (which must never enter the store), ``failure``
+    is the :class:`InfraFailure` record when the fault could not be recovered.
+    Transient errors retry on a fresh adapter (the suspect one is discarded,
+    its failure counted against the circuit breaker); non-transient errors
+    propagate unchanged on the first attempt.  A watchdog timeout is not
+    retried — a wedged execution would in all likelihood wedge again, doubling
+    the wall-clock cost of the deadline for nothing.
+    """
+    if policy is None:
+        return ensure_runner().run_file(test_file), True, None
+    attempt = 0
+    while True:
+        attempt += 1
+        if breaker.is_quarantined(breaker_key):
+            reason = f"adapter {breaker_key[0]!r} quarantined"
+            failure = InfraFailure(
+                kind="adapter-quarantined",
+                suite=test_file.suite,
+                host=spec.host_name,
+                path=test_file.path,
+                detail=breaker.quarantine_detail(breaker_key),
+                attempts=max(1, attempt - 1),
+            )
+            return _synthesize_file_result(spec.host_name, test_file, RecordOutcome.SKIP, reason), False, failure
+        try:
+            runner = ensure_runner()
+            if policy.watchdog_seconds is not None:
+                file_result = run_with_deadline(
+                    lambda: runner.run_file(test_file),
+                    policy.watchdog_seconds,
+                    label=f"{spec.host_name}:{test_file.path}",
+                )
+            else:
+                file_result = runner.run_file(test_file)
+        except WatchdogTimeout as error:
+            # the execution is still wedged on its abandoned helper thread;
+            # the adapter it holds must never be re-pooled
+            drop_adapter()
+            breaker.record_failure(breaker_key, detail=str(error), threshold=policy.quarantine_after)
+            failure = InfraFailure(
+                kind="watchdog-timeout",
+                suite=test_file.suite,
+                host=spec.host_name,
+                path=test_file.path,
+                detail=str(error),
+                attempts=attempt,
+            )
+            return _synthesize_file_result(spec.host_name, test_file, RecordOutcome.HANG, str(error)), False, failure
+        except AdapterQuarantinedError:
+            continue  # quarantined mid-acquire (another worker tripped it): reported at the top of the loop
+        except Exception as error:
+            drop_adapter()
+            detail = f"{type(error).__name__}: {error}"
+            breaker.record_failure(breaker_key, detail=detail, threshold=policy.quarantine_after)
+            if not policy.retry.retryable(error):
+                raise
+            if policy.retry.should_retry(error, attempt) and not breaker.is_quarantined(breaker_key):
+                time.sleep(policy.retry.delay_for(attempt, token=test_file.path))
+                continue
+            if breaker.is_quarantined(breaker_key):
+                continue  # the top of the loop synthesizes the quarantine record
+            failure = InfraFailure(
+                kind="retry-exhausted",
+                suite=test_file.suite,
+                host=spec.host_name,
+                path=test_file.path,
+                detail=detail,
+                attempts=attempt,
+            )
+            return _synthesize_file_result(spec.host_name, test_file, RecordOutcome.SKIP, f"infrastructure failure: {detail}"), False, failure
+        breaker.record_success(breaker_key)
+        return file_result, True, None
+
+
 def _run_shard(
     spec: RunnerSpec,
     shard: list[tuple[int, TestFile]],
@@ -274,7 +401,8 @@ def _run_shard(
     collect_stats: bool = True,
     store_ref: "ArtifactStore | StoreSpec | None" = None,
     probe_store: bool = True,
-) -> tuple[list[tuple[int, FileResult, "bytes | None"]], dict]:
+    policy: "ResiliencePolicy | None" = None,
+) -> tuple[list[tuple[int, FileResult, "bytes | None"]], dict, list[InfraFailure]]:
     """Worker entry point: run one chunk of files on a pooled adapter.
 
     ``caching`` mirrors the submitting process's global cache switch into
@@ -295,17 +423,67 @@ def _run_shard(
     keeping the persist: incremental assembly uses it for files it *already*
     probed, so known misses are not looked up — and counted — twice.
 
+    ``policy`` (a :class:`~repro.core.resilience.ResiliencePolicy`) arms
+    per-file retries, the watchdog deadline, and circuit-breaker accounting
+    (see :func:`_execute_shard_file`); ``None`` preserves the bare
+    fail-on-first-error behaviour.  Unrecovered faults ride back as
+    :class:`~repro.core.resilience.InfraFailure` records in the third tuple
+    element, alongside synthesized stand-in results that keep the merge
+    aligned with the suite's file list.
+
     Each result travels as ``(index, FileResult, frame-or-None)``: the codec
     frame a store-aware shard loaded or encoded rides back to the submitter,
     so suite-level bundling reuses it instead of re-encoding the file.
+
+    Every error raised by shard work — adapter acquisition included — leaves
+    this function as :class:`ShardExecutionError`, so the submitter's pool-
+    dispatch ``except _POOL_INFRA_ERRORS`` can never mistake an in-shard
+    ``OSError`` for pool breakage (which would silently degrade to threads
+    and re-execute the whole batch).  The one exception is
+    :class:`AdapterNotFoundError`: a worker process that cannot rebuild the
+    adapter *is* an infrastructure gap, and degrading to threads (which share
+    the submitting process's registry) is the correct recovery.
     """
+    try:
+        return _execute_shard(spec, shard, caching, collect_stats, store_ref, probe_store, policy)
+    except (ShardExecutionError, AdapterNotFoundError):
+        raise
+    except Exception as error:
+        raise ShardExecutionError(f"{type(error).__name__}: {error}") from error
+
+
+def _execute_shard(
+    spec: RunnerSpec,
+    shard: list[tuple[int, TestFile]],
+    caching: bool,
+    collect_stats: bool,
+    store_ref: "ArtifactStore | StoreSpec | None",
+    probe_store: bool,
+    policy: "ResiliencePolicy | None",
+) -> tuple[list[tuple[int, FileResult, "bytes | None"]], dict, list[InfraFailure]]:
     perf_cache.set_caching(caching)
     before = perf_cache.cache_stats() if collect_stats else {}
     store = store_ref if isinstance(store_ref, ArtifactStore) else _worker_store(store_ref)
     store_hits = store_misses = 0
     pool = worker_adapter_pool()
-    adapter = None
-    runner = None
+    breaker_key = pool_key(spec.adapter_name, dict(spec.adapter_kwargs))
+    state: dict[str, Any] = {"adapter": None, "runner": None}
+
+    def _ensure_runner() -> TestRunner:
+        if state["adapter"] is None:
+            state["adapter"] = pool.acquire(spec.adapter_name, **dict(spec.adapter_kwargs))
+            state["runner"] = spec.make_runner(state["adapter"])
+        return state["runner"]
+
+    def _drop_adapter() -> None:
+        # an adapter whose execution blew up (or timed out) is not
+        # trustworthy: tear it down instead of re-pooling it
+        if state["adapter"] is not None:
+            pool.discard(state["adapter"])
+            state["adapter"] = None
+            state["runner"] = None
+
+    failures: list[InfraFailure] = []
     try:
         results: list[tuple[int, FileResult, bytes | None]] = []
         for index, test_file in shard:
@@ -320,12 +498,13 @@ def _run_shard(
                         store_hits += 1
                         continue
                 store_misses += 1
-            if adapter is None:
-                adapter = pool.acquire(spec.adapter_name, **dict(spec.adapter_kwargs))
-                runner = spec.make_runner(adapter)
-            file_result = runner.run_file(test_file)
+            file_result, persistable, failure = _execute_shard_file(
+                spec, test_file, policy, _ensure_runner, _drop_adapter, pool.breaker, breaker_key
+            )
+            if failure is not None:
+                failures.append(failure)
             blob = None
-            if key is not None:
+            if key is not None and persistable:
                 try:
                     blob = result_codec.encode_file_result(file_result, test_file)
                 except result_codec.CodecError:
@@ -333,16 +512,15 @@ def _run_shard(
                 else:
                     store.save(FILE_RESULTS_NAMESPACE, key, blob)
             results.append((index, file_result, blob))
+    except AdapterNotFoundError:
+        raise  # infrastructure: the submitter degrades to threads
     except Exception as error:
-        # an adapter whose shard blew up is not trustworthy: tear it down
-        # instead of re-pooling it, and wrap the error so the submitting
-        # process can tell a genuine in-shard failure from pool
-        # infrastructure breakage (which degrades to threads)
-        if adapter is not None:
-            pool.discard(adapter)
+        # wrap the error so the submitting process can tell a genuine
+        # in-shard failure from pool infrastructure breakage
+        _drop_adapter()
         raise ShardExecutionError(f"{type(error).__name__}: {error}") from error
-    if adapter is not None:
-        pool.release(adapter)
+    if state["adapter"] is not None:
+        pool.release(state["adapter"])
     stats = _stats_delta(before, perf_cache.cache_stats()) if collect_stats else {}
     if store is not None:
         # unlike the perf-cache deltas, these counters are shard-local, so
@@ -354,7 +532,7 @@ def _run_shard(
             "evictions": 0,
             "hit_rate": round(store_hits / lookups, 4) if lookups else 0.0,
         }
-    return results, stats
+    return results, stats, failures
 
 
 def _merge(
@@ -401,10 +579,10 @@ class WorkerPool:
         self.shutdown()
         self.flavour = "thread"
 
-    def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool, store_ref=None, probe_store: bool = True):
-        """Submit every shard and gather ``(indexed_results, stats)`` pairs."""
+    def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool, store_ref=None, probe_store: bool = True, policy=None):
+        """Submit every shard and gather ``(indexed_results, stats, infra_failures)`` triples."""
         return self.map_tasks(
-            _run_shard, [(spec, shard, caching, collect_stats, store_ref, probe_store) for shard in shards]
+            _run_shard, [(spec, shard, caching, collect_stats, store_ref, probe_store, policy) for shard in shards]
         )
 
     def map_tasks(self, fn, tasks):
@@ -443,6 +621,7 @@ def _run_with_pool(
     workers: int,
     store: "ArtifactStore | None" = None,
     probe_store: bool = True,
+    policy: "ResiliencePolicy | None" = None,
 ):
     collect_stats = worker_pool.flavour == "process"
     shards = _shards(suite, min(workers, worker_pool.workers))
@@ -450,11 +629,19 @@ def _run_with_pool(
     # thread workers share this process: hand them the live store (one stats
     # and byte-estimate authority); process workers get a picklable spec
     store_ref = store if worker_pool.flavour == "thread" else store_spec_for(store)
-    outcomes = worker_pool.map_shards(spec, shards, caching, collect_stats, store_ref, probe_store)
-    indexed_results = [item for results, _ in outcomes for item in results]
-    worker_stats = perf_cache.merge_stats(*(stats for _, stats in outcomes))
+    outcomes = worker_pool.map_shards(spec, shards, caching, collect_stats, store_ref, probe_store, policy)
+    indexed_results = [item for results, _, _ in outcomes for item in results]
+    worker_stats = perf_cache.merge_stats(*(stats for _, stats, _ in outcomes))
     file_blobs = {index: blob for index, _, blob in indexed_results if blob is not None}
-    return _merge(suite, spec, indexed_results), worker_stats, file_blobs
+    # deterministic order regardless of shard layout: failures are part of
+    # the (partial) result and must not vary with worker interleaving
+    infra_failures = sorted(
+        (failure for _, _, failures in outcomes for failure in failures),
+        key=lambda failure: (failure.path, failure.kind),
+    )
+    merged = _merge(suite, spec, indexed_results)
+    merged.infra_failures = infra_failures
+    return merged, worker_stats, file_blobs, infra_failures
 
 
 def run_suite_sharded(
@@ -465,6 +652,7 @@ def run_suite_sharded(
     worker_pool: WorkerPool | None = None,
     store: "ArtifactStore | None" = None,
     probe_store: bool = True,
+    policy: "ResiliencePolicy | None" = None,
 ) -> ShardedRunReport:
     """Run ``suite`` as per-file shards on a ``workers``-wide pool.
 
@@ -479,6 +667,12 @@ def run_suite_sharded(
     ``probe_store=False`` keeps the workers' persist side but skips their
     per-file loads — for callers that already probed every file themselves
     (incremental assembly), so misses are not counted twice.
+
+    ``policy`` arms per-file resilience inside every shard (retry, watchdog,
+    circuit breaker — see :func:`_execute_shard_file`); unrecovered faults
+    surface in the report's (and result's) ``infra_failures``.  The serial
+    fallback ignores it — serial resilience is the transplant layer's
+    cell-level concern (:func:`repro.core.transplant.run_transplant`).
     """
     if workers <= 1 or len(suite.files) <= 1:
         before = perf_cache.cache_stats()
@@ -503,13 +697,16 @@ def run_suite_sharded(
     try:
         if worker_pool.flavour == "process":
             try:
-                result, worker_stats, file_blobs = _run_with_pool(worker_pool, suite, spec, workers, store, probe_store)
+                result, worker_stats, file_blobs, failures = _run_with_pool(
+                    worker_pool, suite, spec, workers, store, probe_store, policy
+                )
                 # worker processes accumulated cache activity in their own
                 # address space; fold it into this process's counters so
                 # cache_stats() reports total pipeline activity
                 perf_cache.absorb_stats(worker_stats)
                 return ShardedRunReport(
-                    result=result, workers=workers, executor="process", cache_stats=worker_stats, file_blobs=file_blobs
+                    result=result, workers=workers, executor="process", cache_stats=worker_stats,
+                    file_blobs=file_blobs, infra_failures=failures,
                 )
             except _POOL_INFRA_ERRORS:
                 # pool infrastructure failures (no fork support, sandboxed
@@ -522,7 +719,9 @@ def run_suite_sharded(
         # The store-files counters are shard-local (see _run_shard) and stay
         # valid, so that bucket is folded into the report from the workers.
         before = perf_cache.cache_stats()
-        result, worker_stats, file_blobs = _run_with_pool(worker_pool, suite, spec, workers, store, probe_store)
+        result, worker_stats, file_blobs, failures = _run_with_pool(
+            worker_pool, suite, spec, workers, store, probe_store, policy
+        )
         cache_stats = _stats_delta(before, perf_cache.cache_stats())
         if "store-files" in worker_stats:
             cache_stats["store-files"] = worker_stats["store-files"]
@@ -532,6 +731,7 @@ def run_suite_sharded(
             executor="thread",
             cache_stats=cache_stats,
             file_blobs=file_blobs,
+            infra_failures=failures,
         )
     finally:
         if owns_pool:
@@ -564,6 +764,7 @@ def assemble_suite_result(
     executor: str = "auto",
     worker_pool: "WorkerPool | None" = None,
     prepare_runner=None,
+    policy: "ResiliencePolicy | None" = None,
 ) -> "tuple[SuiteResult, list[bytes | None]] | None":
     """Assemble a suite-level result from per-file ``file-results`` artifacts.
 
@@ -601,6 +802,7 @@ def assemble_suite_result(
     blobs: list[bytes | None] = [None] * len(suite.files)
     keys = [_file_result_key(spec, test_file) for test_file in suite.files]
     missing: list[tuple[int, TestFile]] = []
+    infra_failures: list[InfraFailure] = []
     for index, test_file in enumerate(suite.files):
         loaded = _load_file_result(store, keys[index], test_file)
         if loaded is not None:
@@ -614,11 +816,12 @@ def assemble_suite_result(
             # (and counted) above; workers only execute and persist
             report = run_suite_sharded(
                 partial, spec, workers=workers, executor=executor, worker_pool=worker_pool, store=store,
-                probe_store=False,
+                probe_store=False, policy=policy,
             )
             for partial_index, ((index, _), file_result) in enumerate(zip(missing, report.result.files)):
                 assembled[index] = file_result
                 blobs[index] = report.file_blobs.get(partial_index)
+            infra_failures.extend(report.infra_failures)
         else:
             if prepare_runner is not None:
                 prepare_runner()
@@ -633,4 +836,5 @@ def assemble_suite_result(
                 store.save(FILE_RESULTS_NAMESPACE, keys[index], blob)
     merged = SuiteResult(suite=suite.name, host=spec.host_name)
     merged.files = [assembled[index] for index in range(len(suite.files))]
+    merged.infra_failures = infra_failures
     return merged, blobs

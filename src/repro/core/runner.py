@@ -132,6 +132,16 @@ class SuiteResult:
     suite: str
     host: str
     files: list[FileResult] = field(default_factory=list)
+    #: unrecovered infrastructure faults
+    #: (:class:`repro.core.resilience.InfraFailure` records) — empty for clean
+    #: runs *and* for runs whose transient faults were recovered by retry, so
+    #: a recovered campaign stays byte-identical to a fault-free one
+    infra_failures: list = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when no infrastructure fault degraded this result."""
+        return not self.infra_failures
 
     @property
     def total_cases(self) -> int:
@@ -239,7 +249,7 @@ class TestRunner:
                 crashed = True
         return file_result
 
-    def run_suite(self, suite: TestSuite, workers: int = 1, executor: str = "auto", worker_pool=None, store=None) -> SuiteResult:
+    def run_suite(self, suite: TestSuite, workers: int = 1, executor: str = "auto", worker_pool=None, store=None, resilience=None) -> SuiteResult:
         """Execute every file of ``suite``, each from a clean database.
 
         With ``workers > 1`` the suite is split into per-file shards executed
@@ -251,7 +261,11 @@ class TestRunner:
         persistent pool — and its per-worker adapters — across suites.
         ``store`` (an :class:`~repro.store.ArtifactStore`) makes those workers
         store-aware: each shard serves already-persisted per-file results from
-        the store instead of re-executing them.
+        the store instead of re-executing them.  ``resilience`` (a
+        :class:`repro.core.resilience.ResiliencePolicy`) arms per-file retry,
+        watchdog, and circuit-breaker handling inside the shards; the serial
+        path leaves resilience to the caller (the transplant layer retries
+        whole cells).
         """
         if workers > 1 and len(suite.files) > 1:
             from repro.core.parallel import runner_spec_for, run_suite_sharded
@@ -259,7 +273,8 @@ class TestRunner:
             spec = runner_spec_for(self)
             if spec is not None:
                 return run_suite_sharded(
-                    suite, spec, workers=workers, executor=executor, worker_pool=worker_pool, store=store
+                    suite, spec, workers=workers, executor=executor, worker_pool=worker_pool, store=store,
+                    policy=resilience,
                 ).result
         suite_result = SuiteResult(suite=suite.name, host=self.host_name)
         for test_file in suite.files:

@@ -8,18 +8,24 @@ produces one :class:`TransplantResult` per (suite, host) pair, and
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 
 from repro.adapters.base import DBMSAdapter
 from repro.adapters.faults import FaultReport, FaultSummary
-from repro.adapters.pool import AdapterPool
+from repro.adapters.pool import AdapterPool, adapter_breaker, pool_key
 from repro.adapters.registry import create_adapter
 from repro.core.records import TestSuite
-from repro.core.runner import SuiteResult, TestRunner
+from repro.core.resilience import InfraFailure, ResiliencePolicy, default_policy, run_with_deadline
+from repro.core.runner import RecordOutcome, SuiteResult, TestRunner
+from repro.errors import AdapterQuarantinedError, WatchdogTimeout
 from repro.perf import cache as perf_cache
 from repro.store import artifacts as artifact_store
 from repro.store import codec as result_codec
 from repro.store.keys import suite_content_hash
+
+logger = logging.getLogger(__name__)
 
 #: Host names used throughout the experiments, in the paper's column order.
 DEFAULT_HOSTS = ("sqlite", "postgres", "duckdb", "mysql")
@@ -54,6 +60,15 @@ class TransplantResult:
     result: SuiteResult
     crashes: list[FaultReport] = field(default_factory=list)
     hangs: list[FaultReport] = field(default_factory=list)
+    #: unrecovered infrastructure faults (:class:`repro.core.resilience.InfraFailure`
+    #: records) that degraded this cell to a partial result; empty for clean
+    #: runs *and* for runs whose transient faults were recovered by retry
+    infra_failures: list = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when no infrastructure fault degraded this cell."""
+        return not self.infra_failures
 
     @property
     def is_donor_run(self) -> bool:
@@ -122,6 +137,15 @@ def _matrix_cell_key(
     }
 
 
+def _synthesize_suite_result(suite: TestSuite, host: str, outcome: "RecordOutcome", reason: str) -> SuiteResult:
+    """A stand-in :class:`SuiteResult` for a cell infrastructure would not run."""
+    from repro.core.parallel import _synthesize_file_result
+
+    suite_result = SuiteResult(suite=suite.name, host=host)
+    suite_result.files = [_synthesize_file_result(host, test_file, outcome, reason) for test_file in suite.files]
+    return suite_result
+
+
 def run_transplant(
     suite: TestSuite,
     host: str,
@@ -136,6 +160,7 @@ def run_transplant(
     worker_pool=None,
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
     incremental: bool = True,
+    resilience: ResiliencePolicy | None = None,
 ) -> TransplantResult:
     """Run ``suite`` on ``host`` and collect results plus crash/hang reports.
 
@@ -166,6 +191,19 @@ def run_transplant(
     full re-execution.  ``incremental=False`` (the CLI's
     ``--no-incremental``) forces full suite execution on any suite-level
     miss.
+
+    ``resilience`` (defaulting to :func:`repro.core.resilience.default_policy`)
+    arms the campaign resilience layer: transient infrastructure failures of
+    the serial path retry the whole cell on a **rebuilt** adapter (with
+    backoff and deterministic jitter), sharded execution retries per file
+    inside the workers, and a configuration the circuit breaker quarantined —
+    or a cell that exhausted its retries / hit its watchdog deadline — becomes
+    a *partial* cell: every record reports SKIP (or HANG for watchdog cuts),
+    the fault is recorded in ``TransplantResult.infra_failures``, and the cell
+    is **not** memoized, so a later run re-enters it.  Recovered faults leave
+    no trace in the result, keeping recovered campaigns byte-identical to
+    fault-free ones.  Caller-provided ``adapter`` instances opt out of
+    cell-level retry (no rebuild is possible on a foreign instance).
     """
     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
     if available_extensions is None:
@@ -197,95 +235,208 @@ def run_transplant(
     # mirrors TestRunner.run_suite's guard: only multi-file suites shard
     sharded = workers > 1 and len(suite.files) > 1
     may_assemble = backing is not None and incremental
-    leased = False
-    deferred_setup = False
-    if adapter is None:
-        if pool is not None and not sharded and not may_assemble:
-            # one lease per campaign host instead of a build per transplant
-            adapter = pool.acquire(host)
-            leased = True
-        else:
-            # the sharded path draws execution adapters from the workers' own
-            # pools, and the incremental-assembly path may execute nothing at
-            # all — in both cases this instance only seeds the RunnerSpec, so
-            # it stays unconnected; a pool lease (or this adapter's setup())
-            # happens lazily, the moment something actually executes.  Only
-            # the plain serial path connects here, keeping seed behaviour.
-            adapter = create_adapter(host)
-            if not sharded and not may_assemble:
-                adapter.setup()
-            else:
-                deferred_setup = True
-    runner = TestRunner(
-        adapter,
-        host_name=host,
-        available_extensions=available_extensions,
-        float_tolerance=float_tolerance,
-        translate_dialect=translate_dialect,
-        donor_dialect=donor,
-        max_records_per_file=max_records_per_file,
-    )
-    def _prepare_execution():
-        # bring the deferred adapter to life the moment something must
-        # execute on this process's runner: a campaign pool serves the lease
-        # (reusing live adapters across transplants, exactly as the eager
-        # path did), otherwise the seed adapter's setup() runs — adapters
-        # that hook setup() keep their hook.  A fully-warm assembly never
-        # gets here, so it neither leases nor connects anything.
-        nonlocal adapter, leased, deferred_setup
-        if not deferred_setup:
-            return
+    policy = resilience if resilience is not None else default_policy()
+
+    def _execute_cell() -> tuple[SuiteResult, "list | None"]:
+        """One attempt at the cell, on a freshly built (or leased) adapter.
+
+        Raising attempts never re-pool their lease: a failed adapter is
+        discarded (and a locally built one torn down), so the next attempt —
+        and every other consumer of the pool — starts from a clean instance.
+        """
+        cell_adapter = adapter
+        leased = False
+        created = False
         deferred_setup = False
-        if pool is not None and not sharded:
-            adapter = pool.acquire(host)
-            leased = True
-            runner.adapter = adapter
-        else:
-            adapter.setup()
+        if cell_adapter is None:
+            if pool is not None and not sharded and not may_assemble:
+                # one lease per campaign host instead of a build per transplant
+                cell_adapter = pool.acquire(host)
+                leased = True
+            else:
+                # the sharded path draws execution adapters from the workers'
+                # own pools, and the incremental-assembly path may execute
+                # nothing at all — in both cases this instance only seeds the
+                # RunnerSpec, so it stays unconnected; a pool lease (or this
+                # adapter's setup()) happens lazily, the moment something
+                # actually executes.  Only the plain serial path connects
+                # here, keeping seed behaviour.
+                cell_adapter = create_adapter(host)
+                created = True
+                if not sharded and not may_assemble:
+                    cell_adapter.setup()
+                else:
+                    deferred_setup = True
+        runner = TestRunner(
+            cell_adapter,
+            host_name=host,
+            available_extensions=available_extensions,
+            float_tolerance=float_tolerance,
+            translate_dialect=translate_dialect,
+            donor_dialect=donor,
+            max_records_per_file=max_records_per_file,
+        )
+        lease = {"adapter": cell_adapter, "leased": leased, "deferred": deferred_setup}
 
-    if deferred_setup:
-        from repro.core.parallel import runner_spec_for
+        def _prepare_execution():
+            # bring the deferred adapter to life the moment something must
+            # execute on this process's runner: a campaign pool serves the
+            # lease (reusing live adapters across transplants, exactly as the
+            # eager path did), otherwise the seed adapter's setup() runs —
+            # adapters that hook setup() keep their hook.  A fully-warm
+            # assembly never gets here, so it neither leases nor connects
+            # anything.
+            if not lease["deferred"]:
+                return
+            lease["deferred"] = False
+            if pool is not None and not sharded:
+                lease["adapter"] = pool.acquire(host)
+                lease["leased"] = True
+                runner.adapter = lease["adapter"]
+            else:
+                lease["adapter"].setup()
 
-        if runner_spec_for(runner) is None:
-            # no RunnerSpec means neither workers nor incremental assembly
-            # can serve this adapter: run_suite will execute serially on this
-            # very instance — prepare it now
-            _prepare_execution()
-    try:
+        if lease["deferred"]:
+            from repro.core.parallel import runner_spec_for
+
+            if runner_spec_for(runner) is None:
+                # no RunnerSpec means neither workers nor incremental assembly
+                # can serve this adapter: run_suite will execute serially on
+                # this very instance — prepare it now
+                _prepare_execution()
+        try:
+            suite_result = None
+            file_blobs = None
+            if may_assemble:
+                from repro.core.parallel import assemble_suite_result
+
+                assembly = assemble_suite_result(
+                    suite,
+                    runner,
+                    backing,
+                    workers=workers,
+                    executor=executor,
+                    worker_pool=worker_pool,
+                    prepare_runner=_prepare_execution,
+                    policy=policy,
+                )
+                if assembly is not None:
+                    suite_result, file_blobs = assembly
+            if suite_result is None:
+                # per-file store reuse inside sharded workers is the
+                # incremental feature too: with incremental=False the suite
+                # really is re-executed whole, as the flag's contract promises
+                suite_result = runner.run_suite(
+                    suite,
+                    workers=workers,
+                    executor=executor,
+                    worker_pool=worker_pool,
+                    store=backing if incremental else None,
+                    resilience=policy,
+                )
+        except BaseException:
+            # failure-path teardown: never re-pool a lease that blew up
+            if lease["leased"]:
+                pool.discard(lease["adapter"])
+            elif created:
+                try:
+                    lease["adapter"].teardown()
+                except Exception:
+                    pass
+            raise
+        if lease["leased"]:
+            pool.release(lease["adapter"])
+        return suite_result, file_blobs
+
+    cell_failures: list[InfraFailure] = []
+    if adapter is not None:
+        # caller-managed adapter: single attempt — the caller owns the
+        # lifecycle, so no rebuild (and hence no cell-level retry) is possible
+        suite_result, file_blobs = _execute_cell()
+    else:
+        breaker = pool.breaker if pool is not None else adapter_breaker()
+        breaker_key = pool_key(host, {})
+        cell_token = f"{suite.name}:{host}"
+        deadline = None
+        if policy.watchdog_seconds is not None and not sharded:
+            # sharded execution arms a per-file watchdog inside the workers;
+            # the serial cell gets one deadline scaled to the suite's size
+            deadline = policy.watchdog_seconds * max(1, len(suite.files))
+        attempt = 0
         suite_result = None
         file_blobs = None
-        if may_assemble:
-            from repro.core.parallel import assemble_suite_result
+        while True:
+            attempt += 1
+            if breaker.is_quarantined(breaker_key):
+                detail = breaker.quarantine_detail(breaker_key)
+                reason = f"adapter {host!r} quarantined" + (f": {detail}" if detail else "")
+                suite_result = _synthesize_suite_result(suite, host, RecordOutcome.SKIP, reason)
+                cell_failures.append(
+                    InfraFailure(
+                        kind="adapter-quarantined",
+                        suite=suite.name,
+                        host=host,
+                        detail=detail,
+                        attempts=max(1, attempt - 1),
+                    )
+                )
+                break
+            try:
+                if deadline is not None:
+                    suite_result, file_blobs = run_with_deadline(_execute_cell, deadline, label=cell_token)
+                else:
+                    suite_result, file_blobs = _execute_cell()
+            except WatchdogTimeout as error:
+                # a wedged execution would wedge again: no retry, the cell
+                # degrades to a HANG-shaped partial result immediately
+                breaker.record_failure(breaker_key, detail=str(error), threshold=policy.quarantine_after)
+                suite_result = _synthesize_suite_result(suite, host, RecordOutcome.HANG, str(error))
+                cell_failures.append(
+                    InfraFailure(kind="watchdog-timeout", suite=suite.name, host=host, detail=str(error), attempts=attempt)
+                )
+                break
+            except AdapterQuarantinedError:
+                continue  # tripped between check and acquire: reported at the top of the loop
+            except Exception as error:
+                detail = f"{type(error).__name__}: {error}"
+                breaker.record_failure(breaker_key, detail=detail, threshold=policy.quarantine_after)
+                if not policy.retry.retryable(error):
+                    raise
+                if policy.retry.should_retry(error, attempt) and not breaker.is_quarantined(breaker_key):
+                    delay = policy.retry.delay_for(attempt, token=cell_token)
+                    logger.warning(
+                        "transient infrastructure failure on cell %s (attempt %d/%d): %s; retrying in %.3fs",
+                        cell_token, attempt, policy.retry.attempts, detail, delay,
+                    )
+                    time.sleep(delay)
+                    continue
+                if breaker.is_quarantined(breaker_key):
+                    continue
+                suite_result = _synthesize_suite_result(suite, host, RecordOutcome.SKIP, f"infrastructure failure: {detail}")
+                cell_failures.append(
+                    InfraFailure(kind="retry-exhausted", suite=suite.name, host=host, detail=detail, attempts=attempt)
+                )
+                break
+            else:
+                breaker.record_success(breaker_key)
+                break
 
-            assembly = assemble_suite_result(
-                suite,
-                runner,
-                backing,
-                workers=workers,
-                executor=executor,
-                worker_pool=worker_pool,
-                prepare_runner=_prepare_execution,
-            )
-            if assembly is not None:
-                suite_result, file_blobs = assembly
-        if suite_result is None:
-            # per-file store reuse inside sharded workers is the incremental
-            # feature too: with incremental=False the suite really is
-            # re-executed whole, as the flag's contract promises
-            suite_result = runner.run_suite(
-                suite,
-                workers=workers,
-                executor=executor,
-                worker_pool=worker_pool,
-                store=backing if incremental else None,
-            )
-    finally:
-        if leased:
-            pool.release(adapter)
+    if cell_failures:
+        suite_result.infra_failures = list(suite_result.infra_failures) + cell_failures
 
     crashes, hangs = result_codec.fault_reports_for(suite_result, host)
-    transplant_result = TransplantResult(suite=suite.name, host=host, donor=donor, result=suite_result, crashes=crashes, hangs=hangs)
-    if memo is not None:
+    transplant_result = TransplantResult(
+        suite=suite.name,
+        host=host,
+        donor=donor,
+        result=suite_result,
+        crashes=crashes,
+        hangs=hangs,
+        infra_failures=list(suite_result.infra_failures),
+    )
+    if memo is not None and not transplant_result.infra_failures:
+        # partial cells are never memoized: a resumed campaign must re-enter
+        # them instead of replaying the degradation from the store
         try:
             # the suite-level entry is *assembled* from the per-file frames
             # the incremental path already holds (byte reuse, no re-encoding);
@@ -328,6 +479,18 @@ class TransplantMatrix:
                 summary.add(report)
         return summary
 
+    def infra_failures(self) -> list:
+        """Every unrecovered infrastructure fault of the campaign, in cell order."""
+        return [failure for entry in self.entries.values() for failure in entry.infra_failures]
+
+    def incomplete_cells(self) -> list[tuple[str, str]]:
+        """(suite, host) keys of cells degraded by infrastructure faults."""
+        return sorted(key for key, entry in self.entries.items() if entry.infra_failures)
+
+    def is_complete(self) -> bool:
+        """True when no cell was degraded to a partial result."""
+        return not any(entry.infra_failures for entry in self.entries.values())
+
 
 def run_matrix(
     suites: dict[str, TestSuite],
@@ -342,6 +505,8 @@ def run_matrix(
     worker_pool=None,
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
     incremental: bool = True,
+    resilience: ResiliencePolicy | None = None,
+    resume: TransplantMatrix | None = None,
 ) -> TransplantMatrix:
     """Run every suite on every host (the Figure 4 campaign).
 
@@ -370,6 +535,12 @@ def run_matrix(
     ``incremental`` additionally assembles suite-level misses from per-file
     ``file-results`` artifacts, so a campaign over an *edited* suite
     re-executes only the changed files of every cell.
+
+    ``resilience`` is threaded into every cell (see :func:`run_transplant`).
+    ``resume`` takes the matrix of a previous — possibly degraded — campaign:
+    complete cells are carried over by reference and **only the gaps** (cells
+    missing or carrying ``infra_failures``) are re-entered, so recovering from
+    a quarantined adapter costs one cell per gap, not a full campaign.
     """
     from repro.core.parallel import WorkerPool
 
@@ -386,6 +557,13 @@ def run_matrix(
     try:
         for suite in suites.values():
             for host in hosts:
+                if resume is not None:
+                    prior = resume.entries.get((suite.name, host))
+                    if prior is not None and not prior.infra_failures:
+                        matrix.add(prior)
+                        continue
+                    if prior is not None:
+                        logger.info("re-entering incomplete cell (%s, %s)", suite.name, host)
                 if reuse_donor_runs_from is not None and perf_cache.caching_enabled():
                     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
                     if donor == host and (suite.name, host) in reuse_donor_runs_from.entries:
@@ -404,6 +582,7 @@ def run_matrix(
                         worker_pool=worker_pool,
                         store=store,
                         incremental=incremental,
+                        resilience=resilience,
                     )
                 )
     finally:

@@ -137,3 +137,26 @@ class ShardExecutionError(RunnerError):
     failures degrade the run to the threaded pool, while this error
     propagates to the caller instead of silently re-executing the suite.
     """
+
+
+class WatchdogTimeout(RunnerError):
+    """A unit of work exceeded its watchdog deadline (wedged adapter).
+
+    Raised by :func:`repro.core.resilience.run_with_deadline` when a per-file
+    or per-cell execution does not finish within its deadline.  The campaign
+    layer converts it into a HANG outcome plus an
+    :class:`~repro.core.resilience.InfraFailure` record instead of letting a
+    wedged adapter block its worker forever.
+    """
+
+    def __init__(self, message: str, deadline: float | None = None):
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class AdapterQuarantinedError(RunnerError):
+    """The requested adapter configuration is quarantined by the circuit
+    breaker (:class:`repro.adapters.pool.CircuitBreaker`) after repeated
+    consecutive infrastructure failures.  Campaigns treat the affected cells
+    as partial results instead of retrying a known-bad adapter forever.
+    """

@@ -110,6 +110,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="corpus generation seed (default 0)")
     parser.add_argument("--workers", type=int, default=1, help="worker-pool width for suite execution (default 1 = serial)")
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-statement timeout and watchdog deadline for adapters that support one "
+        "(default: $REPRO_TIMEOUT_SECONDS or 5s)",
+    )
+    parser.add_argument(
         "--store-dir",
         default=None,
         metavar="PATH",
@@ -143,6 +151,9 @@ def main(argv: list[str] | None = None) -> int:
         _print_adapters()
         return 0
 
+    if arguments.timeout is not None and arguments.timeout <= 0:
+        parser.error("--timeout must be positive")
+
     selected = arguments.experiments or list(EXPERIMENTS)
     with ExperimentContext(
         scale=arguments.scale,
@@ -151,11 +162,22 @@ def main(argv: list[str] | None = None) -> int:
         store_dir=arguments.store_dir,
         use_store=not arguments.no_store,
         incremental=arguments.incremental,
+        timeout_seconds=arguments.timeout,
     ) as context:
         for experiment_id in selected:
             result = run_experiment(experiment_id, context)
             print(result.text)
             print()
+        infra_failures = context.infra_failures()
+    if infra_failures:
+        # exit code 2: the campaign *finished* but some cells degraded to
+        # partial results (quarantined adapter, exhausted retries, watchdog
+        # cut) — distinct from 0 (clean) and 1 (crash / usage error)
+        print(f"WARNING: campaign degraded — {len(infra_failures)} unrecovered infrastructure failure(s):", file=sys.stderr)
+        for failure in infra_failures:
+            where = f"{failure.suite}->{failure.host}" + (f":{failure.path}" if failure.path else "")
+            print(f"  [{failure.kind}] {where} after {failure.attempts} attempt(s): {failure.detail}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -7,6 +7,7 @@ from typing import Any
 
 from repro.adapters.pool import AdapterPool
 from repro.core.records import TestSuite
+from repro.core.resilience import ResiliencePolicy, set_default_timeout
 from repro.core.transplant import DEFAULT_HOSTS, TransplantMatrix, run_matrix
 from repro.corpus import build_all_suites, build_suite
 from repro.store import ArtifactStore
@@ -47,6 +48,14 @@ class ExperimentContext:
     donor recordings (``file-donor``) whenever the store is on — that reuse
     is part of the store layer itself (disable with ``use_store=False``),
     not of this switch.
+
+    ``timeout_seconds`` (the CLI's ``--timeout``) sets the process-wide
+    statement/watchdog timeout (see
+    :func:`repro.core.resilience.set_default_timeout`); ``resilience``
+    overrides the whole campaign resilience policy, which is threaded into
+    every matrix cell.  :meth:`infra_failures` reports the unrecovered
+    infrastructure faults of every matrix computed so far — the CLI maps a
+    non-empty list to its "partial results" exit code.
     """
 
     def __init__(
@@ -59,11 +68,19 @@ class ExperimentContext:
         store_dir: str | None = None,
         use_store: bool = True,
         incremental: bool = True,
+        timeout_seconds: float | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.scale = scale
         self.seed = seed
         self.hosts = hosts
         self.incremental = incremental
+        if timeout_seconds is not None:
+            set_default_timeout(timeout_seconds)
+        self.timeout_seconds = timeout_seconds
+        #: campaign resilience policy; None means every cell resolves
+        #: :func:`repro.core.resilience.default_policy` at execution time
+        self.resilience = resilience
         #: resolved artifact-store argument threaded through every corpus
         #: build and campaign: an explicit store, the process default
         #: (``DEFAULT``), or ``None`` for storeless
@@ -174,6 +191,7 @@ class ExperimentContext:
                 worker_pool=self.worker_pool,
                 store=self.store,
                 incremental=self.incremental,
+                resilience=self.resilience,
             )
         return self._matrix
 
@@ -196,6 +214,7 @@ class ExperimentContext:
                 worker_pool=self.worker_pool,
                 store=self.store,
                 incremental=self.incremental,
+                resilience=self.resilience,
             )
         return self._translated_matrix
 
@@ -204,3 +223,15 @@ class ExperimentContext:
         from repro.core.transplant import DONOR_OF_SUITE
 
         return self.matrix.get(suite, DONOR_OF_SUITE[suite])
+
+    def infra_failures(self) -> list:
+        """Unrecovered infrastructure faults across every computed matrix.
+
+        Only matrices that have already been computed are consulted — asking
+        for failures must not trigger a campaign.
+        """
+        failures: list = []
+        for matrix in (self._matrix, self._translated_matrix):
+            if matrix is not None:
+                failures.extend(matrix.infra_failures())
+        return failures

@@ -32,6 +32,7 @@ rates (see ``benchmarks/bench_pipeline.py``).
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -42,6 +43,8 @@ from typing import Any, Callable, Iterator
 
 from repro.store.fingerprint import code_fingerprint
 from repro.store.keys import key_digest
+
+logger = logging.getLogger(__name__)
 
 #: On-disk payload layout version; bump on incompatible changes.
 STORE_FORMAT_VERSION = 1
@@ -67,7 +70,7 @@ class StoreStats:
     namespaces' hit rates, which the pipeline benchmarks report.
     """
 
-    __slots__ = ("hits", "misses", "writes", "evictions", "errors", "by_namespace")
+    __slots__ = ("hits", "misses", "writes", "evictions", "errors", "io_errors", "by_namespace")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -75,6 +78,10 @@ class StoreStats:
         self.writes = 0
         self.evictions = 0
         self.errors = 0
+        #: I/O failures of the backing filesystem (as opposed to ``errors``,
+        #: which also counts corruption and unpicklable values); the
+        #: degradation trigger counts *consecutive* ones separately
+        self.io_errors = 0
         #: namespace -> {"hits": int, "misses": int}; mutated under the
         #: owning store's lock
         self.by_namespace: dict[str, dict[str, int]] = {}
@@ -116,6 +123,7 @@ class StoreStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.writes = self.evictions = self.errors = 0
+        self.io_errors = 0
         self.by_namespace = {}
 
     def namespace_hit_rates(self) -> dict[str, dict[str, Any]]:
@@ -137,6 +145,7 @@ class StoreStats:
             "writes": self.writes,
             "evictions": self.evictions,
             "errors": self.errors,
+            "io_errors": self.io_errors,
             "hit_rate": round(self.hit_rate, 4),
             # distinct from ArtifactStore.namespace_stats(), which reports
             # disk footprint: these are this process's lookup counters
@@ -152,6 +161,7 @@ class ArtifactStore:
         root: str | os.PathLike | None = None,
         max_bytes: int | None = None,
         fingerprint: str | None = None,
+        degrade_after: int = 3,
     ):
         if root is None:
             root = os.environ.get("REPRO_STORE_DIR") or DEFAULT_ROOT
@@ -161,10 +171,17 @@ class ArtifactStore:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
+        if degrade_after <= 0:
+            raise ValueError("degrade_after must be positive")
+        #: consecutive I/O errors before the store demotes itself to
+        #: storeless mode (graceful degradation; see :meth:`_record_io_error`)
+        self.degrade_after = degrade_after
         #: code-version component of every key; explicit only in tests
         self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
         self.stats = StoreStats()
         self._lock = threading.Lock()
+        self._io_error_streak = 0
+        self._degraded = False
         #: running estimate of on-disk bytes, seeded by one full scan on the
         #: first write and bumped per save, so the under-budget fast path
         #: never walks the tree; None = not yet seeded
@@ -176,6 +193,65 @@ class ArtifactStore:
         digest = key_digest(namespace, key, self.fingerprint)
         return self.root / namespace / digest[:2] / f"{digest}.pkl"
 
+    # -- I/O layer (overridable; the chaos harness injects faults here) ----------------
+
+    def _read(self, path: Path) -> tuple:
+        """Read one artifact file; raises on any I/O or unpickling problem."""
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def _write(self, path: Path, payload: tuple) -> None:
+        """Atomically write one artifact file; raises on failure.
+
+        The temp file never survives a failed write — whatever raises, the
+        ``.tmp-`` file is unlinked before the error propagates.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix=".tmp-", suffix=".pkl", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            self._discard(Path(handle.name))
+            raise
+
+    # -- graceful degradation ----------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once repeated I/O errors demoted this store to storeless mode."""
+        with self._lock:
+            return self._degraded
+
+    def _record_io_error(self, operation: str, error: BaseException) -> None:
+        """Count one backing-filesystem failure; degrade after a streak.
+
+        Corruption is *not* an I/O error (a garbled artifact says nothing
+        about the disk) — only ``OSError``s from the I/O layer land here.
+        After ``degrade_after`` consecutive ones the store stops touching the
+        filesystem entirely: every load misses, every save is dropped, and
+        the campaign continues exactly as if it had been started storeless.
+        """
+        with self._lock:
+            self.stats.io_errors += 1
+            self._io_error_streak += 1
+            newly_degraded = not self._degraded and self._io_error_streak >= self.degrade_after
+            if newly_degraded:
+                self._degraded = True
+        if newly_degraded:
+            logger.warning(
+                "artifact store %s degraded to storeless mode after %d consecutive I/O errors "
+                "(last: %s on %s); the campaign continues without persistence",
+                self.root, self.degrade_after, error, operation,
+            )
+
+    def _note_io_success(self) -> None:
+        with self._lock:
+            self._io_error_streak = 0
+
     # -- core protocol -----------------------------------------------------------------
 
     def load(self, namespace: str, key: Any, default: Any = None) -> Any:
@@ -183,15 +259,26 @@ class ArtifactStore:
 
         Corrupt or truncated artifacts — and artifacts whose embedded header
         does not match (format bump, hash collision) — are deleted and
-        reported as misses; the store never raises out of a read.
+        reported as misses; the store never raises out of a read.  I/O errors
+        of the backing filesystem count toward graceful degradation instead
+        of being treated as corruption (the artifact may be perfectly fine).
         """
+        with self._lock:
+            if self._degraded:
+                self.stats.count_lookup(namespace, hit=False)
+                return default
         path = self.path_for(namespace, key)
         try:
-            with open(path, "rb") as handle:
-                version, stored_namespace, value = pickle.load(handle)
+            version, stored_namespace, value = self._read(path)
             if version != STORE_FORMAT_VERSION or stored_namespace != namespace:
                 raise ValueError(f"artifact header mismatch: {version!r}/{stored_namespace!r}")
         except FileNotFoundError:
+            self._note_io_success()  # the filesystem answered; the entry just isn't there
+            with self._lock:
+                self.stats.count_lookup(namespace, hit=False)
+            return default
+        except OSError as error:
+            self._record_io_error(f"load {path}", error)
             with self._lock:
                 self.stats.count_lookup(namespace, hit=False)
             return default
@@ -205,6 +292,7 @@ class ArtifactStore:
                 self.stats.errors += 1
                 self.stats.count_lookup(namespace, hit=False)
             return default
+        self._note_io_success()
         try:
             os.utime(path)  # freshen for LRU eviction
         except OSError:
@@ -217,25 +305,26 @@ class ArtifactStore:
         """Persist ``value`` atomically; returns False (and stays silent) on failure.
 
         A store write failure (read-only filesystem, disk full, unpicklable
-        value) must not fail the pipeline that produced the value.
+        value) must not fail the pipeline that produced the value.  Filesystem
+        failures additionally count toward graceful degradation: once the
+        store demotes itself, saves return False without touching the disk.
         """
+        with self._lock:
+            if self._degraded:
+                return False
         path = self.path_for(namespace, key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            handle = tempfile.NamedTemporaryFile(
-                mode="wb", dir=path.parent, prefix=".tmp-", suffix=".pkl", delete=False
-            )
-            try:
-                with handle:
-                    pickle.dump((STORE_FORMAT_VERSION, namespace, value), handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(handle.name, path)
-            except BaseException:
-                self._discard(Path(handle.name))
-                raise
+            self._write(path, (STORE_FORMAT_VERSION, namespace, value))
+        except OSError as error:
+            self._record_io_error(f"save {path}", error)
+            with self._lock:
+                self.stats.errors += 1
+            return False
         except Exception:
             with self._lock:
                 self.stats.errors += 1
             return False
+        self._note_io_success()
         try:
             written = path.stat().st_size
         except OSError:
@@ -392,6 +481,8 @@ class ArtifactStore:
             self._discard(path)
         with self._lock:
             self._approx_bytes = 0
+            self._io_error_streak = 0
+            self._degraded = False
         self.stats.reset()
 
     # -- introspection -----------------------------------------------------------------
@@ -430,6 +521,7 @@ class ArtifactStore:
         payload["entries"] = len(entries)
         payload["bytes"] = sum(size for _, size, _ in entries)
         payload["root"] = str(self.root)
+        payload["degraded"] = self.degraded
         return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,26 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.chaos` is the chaos-engineering harness that proves the
+campaign resilience layer (:mod:`repro.core.resilience`): deterministic,
+seeded fault schedules injected at the adapter and store boundaries, so
+``tests/test_chaos.py`` can assert that recoverable faults leave campaigns
+byte-identical to fault-free runs and unrecoverable ones degrade gracefully.
+"""
+
+from repro.testing.chaos import (
+    ChaosAdapter,
+    ChaosError,
+    ChaosStore,
+    FaultSchedule,
+    FaultSpec,
+    inject_adapter,
+)
+
+__all__ = [
+    "ChaosAdapter",
+    "ChaosError",
+    "ChaosStore",
+    "FaultSchedule",
+    "FaultSpec",
+    "inject_adapter",
+]

@@ -1,0 +1,223 @@
+"""Chaos harness: deterministic fault injection at the infrastructure seams.
+
+The resilience layer's promise is behavioural — *recoverable faults leave no
+trace, unrecoverable ones degrade the campaign instead of killing it* — and
+the only honest way to test that promise is to make infrastructure actually
+fail.  This module injects faults at the two seams the resilience layer
+guards:
+
+* **Adapters** — :func:`inject_adapter` re-registers an adapter name with a
+  factory that wraps every built instance in a :class:`ChaosAdapter`, which
+  consults a shared :class:`FaultSchedule` before each lifecycle/execute call.
+  Because the registry indirection is also how sharded workers rebuild
+  adapters (``fork_config`` → ``create_adapter``), the same injection reaches
+  worker-thread adapters with no extra plumbing.
+* **The artifact store** — :class:`ChaosStore` overrides the store's
+  ``_read``/``_write`` I/O hooks to raise ``EIO`` per schedule, driving the
+  graceful-degradation path (:meth:`repro.store.artifacts.ArtifactStore._record_io_error`).
+
+Schedules are **deterministic**: a fault fires on the K-th call of an
+operation (optionally every call from K onward), counted under a lock, with
+no wall-clock or RNG involvement beyond the seed recorded for reporting.  A
+failing chaos test therefore reproduces exactly from its printed seed.
+
+Process-pool caveat: chaos wrappers live in this process's registry; worker
+*processes* re-import a pristine registry, so chaos campaigns must use the
+thread executor (``executor="thread"``), where injection and breaker state
+are shared.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.adapters.base import DBMSAdapter, ExecutionOutcome
+from repro.adapters.registry import get_adapter_entry, register_adapter
+from repro.store.artifacts import ArtifactStore
+
+
+class ChaosError(OSError):
+    """A deterministic injected infrastructure fault.
+
+    An ``OSError`` subclass with ``transient = True``, so both halves of
+    :func:`repro.core.resilience.is_transient_error` classify it as
+    retryable — exactly the kind of fault the retry layer exists for.
+    """
+
+    transient = True
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: inject ``kind`` on the ``at``-th call of ``op``.
+
+    ``op`` names the instrumented operation (``"execute"``, ``"setup"``,
+    ``"reset"`` on adapters; ``"read"``, ``"write"`` on stores).  ``at`` is
+    1-based.  ``every=True`` makes the fault permanent from ``at`` onward —
+    the "adapter that will never work again" used to drive quarantine.
+    ``kind="hang"`` sleeps ``seconds`` instead of raising (a wedge the
+    watchdog must notice; it finishes on its own so tests never leak a
+    truly stuck thread).
+    """
+
+    op: str
+    at: int = 1
+    kind: str = "raise"  # "raise" | "hang"
+    every: bool = False
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise ValueError("FaultSpec.at is 1-based")
+        if self.kind not in ("raise", "hang"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultSchedule:
+    """Thread-safe per-operation call counters driving a set of faults.
+
+    One schedule is shared by every chaos wrapper of a campaign (serial
+    adapter, worker-thread adapters, the store), so ``at`` counts calls
+    campaign-wide in arrival order.  ``injected`` records every fault that
+    actually fired, for assertions and failure reports.
+    """
+
+    def __init__(self, faults: "list[FaultSpec] | tuple[FaultSpec, ...]", seed: int = 0):
+        self.faults = tuple(faults)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        #: (op, call index, kind) of every fault that fired
+        self.injected: list[tuple[str, int, str]] = []
+
+    def tick(self, op: str) -> FaultSpec | None:
+        """Count one call of ``op``; the fault to inject now, or None."""
+        with self._lock:
+            count = self._calls.get(op, 0) + 1
+            self._calls[op] = count
+            for fault in self.faults:
+                if fault.op != op:
+                    continue
+                if count == fault.at or (fault.every and count >= fault.at):
+                    self.injected.append((op, count, fault.kind))
+                    return fault
+        return None
+
+    def calls(self, op: str) -> int:
+        with self._lock:
+            return self._calls.get(op, 0)
+
+    def reset(self) -> None:
+        """Rewind every counter (and the injection log) for a fresh campaign."""
+        with self._lock:
+            self._calls.clear()
+            self.injected.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultSchedule seed={self.seed} faults={len(self.faults)} injected={len(self.injected)}>"
+
+
+class ChaosAdapter(DBMSAdapter):
+    """Wraps a real adapter; injects scheduled faults before delegating.
+
+    Faults fire on ``setup``/``reset``/``execute`` — the operations the
+    resilience layer guards; ``teardown``/``close`` stay clean so failure
+    paths can always clean up.  ``fork_config`` delegates to the inner
+    adapter: the returned registry name resolves through the chaos-injected
+    registry entry, so worker-built clones are chaos-wrapped too (sharing
+    this adapter's schedule through the factory closure).
+    """
+
+    def __init__(self, inner: DBMSAdapter, schedule: FaultSchedule):
+        self.inner = inner
+        self.schedule = schedule
+        self.name = inner.name
+        self.dialect = inner.dialect
+
+    def _maybe_fault(self, op: str) -> None:
+        fault = self.schedule.tick(op)
+        if fault is None:
+            return
+        if fault.kind == "hang":
+            time.sleep(fault.seconds)
+            return
+        raise ChaosError(errno.EIO, f"chaos[{self.schedule.seed}]: injected {op} fault (call {self.schedule.calls(op)})")
+
+    def connect(self) -> None:
+        self.inner.connect()
+
+    def setup(self) -> None:
+        self._maybe_fault("setup")
+        self.inner.setup()
+
+    def reset(self) -> None:
+        self._maybe_fault("reset")
+        self.inner.reset()
+
+    def execute(self, sql: str) -> ExecutionOutcome:
+        self._maybe_fault("execute")
+        return self.inner.execute(sql)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def teardown(self) -> None:
+        self.inner.teardown()
+
+    def fork_config(self) -> tuple[str, dict] | None:
+        return self.inner.fork_config()
+
+
+@contextmanager
+def inject_adapter(name: str, schedule: FaultSchedule) -> Iterator[FaultSchedule]:
+    """Chaos-wrap every adapter built under ``name`` for the block's duration.
+
+    Re-registers ``name`` (keeping its aliases, which the registry retargets
+    atomically) with a factory that wraps the original factory's product in a
+    :class:`ChaosAdapter` sharing ``schedule``.  The original entry is
+    restored on exit, whatever happens inside.  Adapters built *before*
+    injection (e.g. sitting idle in a pool) are untouched — use fresh pools
+    in chaos tests.
+    """
+    original = get_adapter_entry(name)
+
+    def _chaos_factory(**kwargs) -> DBMSAdapter:
+        return ChaosAdapter(original.factory(**kwargs), schedule)
+
+    register_adapter(original.name, _chaos_factory, aliases=original.aliases, description=f"chaos({original.description})")
+    try:
+        yield schedule
+    finally:
+        register_adapter(original.name, original.factory, aliases=original.aliases, description=original.description)
+
+
+class ChaosStore(ArtifactStore):
+    """An :class:`ArtifactStore` whose I/O layer fails on schedule.
+
+    Overrides the ``_read``/``_write`` hooks to raise ``EIO`` when the shared
+    :class:`FaultSchedule` says so — exercising exactly the branch that
+    triggers graceful degradation, without touching real-filesystem failure
+    modes.  Corruption faults are *not* modelled here; the store's own tests
+    cover garbled artifacts.
+    """
+
+    def __init__(self, *args, schedule: FaultSchedule, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.schedule = schedule
+
+    def _read(self, path):
+        fault = self.schedule.tick("read")
+        if fault is not None:
+            raise OSError(errno.EIO, f"chaos[{self.schedule.seed}]: injected read fault")
+        return super()._read(path)
+
+    def _write(self, path, payload) -> None:
+        fault = self.schedule.tick("write")
+        if fault is not None:
+            raise OSError(errno.EIO, f"chaos[{self.schedule.seed}]: injected write fault")
+        super()._write(path, payload)

@@ -220,3 +220,123 @@ class TestLifecycleProtocol:
             assert isinstance(adapter, DBMSAdapter)
             assert adapter.execute("SELECT 1").ok
         assert adapter.session is None
+
+
+class TestCircuitBreaker:
+    """Quarantine semantics: consecutive failures trip, success resets."""
+
+    def _fresh(self):
+        from repro.adapters.pool import CircuitBreaker
+
+        return CircuitBreaker(threshold=3)
+
+    def test_threshold_consecutive_failures_quarantine(self):
+        from repro.adapters.pool import pool_key
+
+        breaker = self._fresh()
+        key = pool_key("duckdb", {})
+        assert breaker.record_failure(key, detail="one") is False
+        assert breaker.record_failure(key, detail="two") is False
+        assert breaker.record_failure(key, detail="three") is True  # newly quarantined
+        assert breaker.is_quarantined(key)
+        assert breaker.quarantine_detail(key) == "three"
+        # further failures on a quarantined key are no-ops
+        assert breaker.record_failure(key, detail="four") is False
+
+    def test_success_resets_the_streak(self):
+        from repro.adapters.pool import pool_key
+
+        breaker = self._fresh()
+        key = pool_key("duckdb", {})
+        breaker.record_failure(key)
+        breaker.record_failure(key)
+        breaker.record_success(key)
+        assert breaker.record_failure(key) is False  # streak restarted at 1
+        assert not breaker.is_quarantined(key)
+
+    def test_keys_are_independent(self):
+        from repro.adapters.pool import pool_key
+
+        breaker = self._fresh()
+        for _ in range(3):
+            breaker.record_failure(pool_key("duckdb", {}))
+        assert breaker.is_quarantined(pool_key("duckdb", {}))
+        assert not breaker.is_quarantined(pool_key("mysql", {}))
+        assert breaker.quarantined_keys() == [pool_key("duckdb", {})]
+
+    def test_quarantined_key_refused_by_acquire(self):
+        from repro.adapters.pool import CircuitBreaker, pool_key
+        from repro.errors import AdapterQuarantinedError
+
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure(pool_key("duckdb", {}), detail="broken")
+        with AdapterPool(breaker=breaker) as pool:
+            with pytest.raises(AdapterQuarantinedError, match="quarantined"):
+                pool.acquire("duckdb")
+            # aliases collapse onto the quarantined canonical key too
+            adapter = pool.acquire("mysql")  # other keys unaffected
+            pool.release(adapter)
+
+    def test_reset_clears_quarantine(self):
+        from repro.adapters.pool import CircuitBreaker, pool_key
+
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure(pool_key("duckdb", {}))
+        breaker.reset()
+        assert not breaker.is_quarantined(pool_key("duckdb", {}))
+        assert breaker.quarantined_keys() == []
+
+
+class TestFailureTeardown:
+    """A unit of work that raises must discard its lease, never re-pool it."""
+
+    def test_failing_cell_discards_its_lease(self):
+        from repro.adapters.pool import adapter_breaker
+        from repro.core.resilience import ResiliencePolicy, RetryPolicy
+        from repro.testing.chaos import FaultSchedule, FaultSpec, inject_adapter
+
+        suite = build_suite("slt", file_count=2, records_per_file=10, seed=31, store=None)
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(attempts=1, base_delay=0.001, jitter=0.0), quarantine_after=10
+        )
+        pool = AdapterPool()
+        schedule = FaultSchedule([FaultSpec(op="execute", at=1, every=True)])
+        try:
+            with inject_adapter("duckdb", schedule):
+                result = run_transplant(suite, "duckdb", pool=pool, store=None, resilience=policy)
+            # the broken adapter was discarded, not parked for the next lease
+            assert pool.idle_count == 0
+            assert pool.leased_count == 0
+            assert pool.created == 1
+            assert [failure.kind for failure in result.infra_failures] == ["retry-exhausted"]
+        finally:
+            pool.close()
+            adapter_breaker().reset()
+
+    def test_failing_shard_discards_its_worker_lease(self):
+        from repro.adapters.pool import adapter_breaker
+        from repro.core import parallel
+        from repro.core.resilience import ResiliencePolicy, RetryPolicy
+        from repro.testing.chaos import FaultSchedule, FaultSpec, inject_adapter
+
+        suite = build_suite("slt", file_count=2, records_per_file=10, seed=32, store=None)
+        spec = parallel.RunnerSpec(adapter_name="duckdb", host_name="duckdb", donor_dialect="slt")
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(attempts=1, base_delay=0.001, jitter=0.0), quarantine_after=10
+        )
+        worker_pool = parallel.worker_adapter_pool()
+        idle_before, leased_before = worker_pool.idle_count, worker_pool.leased_count
+        schedule = FaultSchedule([FaultSpec(op="execute", at=1, every=True)])
+        try:
+            with inject_adapter("duckdb", schedule):
+                results, _, failures = parallel._run_shard(
+                    spec, [(0, suite.files[0])], collect_stats=False, policy=policy
+                )
+            assert [failure.kind for failure in failures] == ["retry-exhausted"]
+            assert len(results) == 1
+            # the chaos adapter the shard leased was discarded on failure:
+            # nothing new parked idle, nothing left leased
+            assert worker_pool.idle_count == idle_before
+            assert worker_pool.leased_count == leased_before
+        finally:
+            adapter_breaker().reset()

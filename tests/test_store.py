@@ -444,3 +444,104 @@ class TestStoreCLI:
         status, output = self._run("store", "stats")
         assert status == 0
         assert default_root in output
+
+
+# -- failure-path hygiene and graceful degradation --------------------------------
+
+
+class TestFailurePathHygiene:
+    """A failed save must leave no temp files behind in the store tree."""
+
+    def _tmp_leftovers(self, store):
+        return [path for path in store.root.rglob(".tmp-*")]
+
+    def test_failed_rename_leaves_no_tmp_files(self, store, monkeypatch):
+        def _broken_replace(src, dst):
+            raise OSError(5, "injected EIO on rename")
+
+        monkeypatch.setattr(os, "replace", _broken_replace)
+        assert store.save("ns", {"k": 1}, "value") is False
+        assert self._tmp_leftovers(store) == []
+        assert store.stats.errors == 1
+        assert store.stats.io_errors == 1
+
+    def test_failed_pickle_leaves_no_tmp_files(self, store):
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        assert store.save("ns", {"k": 1}, Unpicklable()) is False
+        assert self._tmp_leftovers(store) == []
+        # a serialization bug is a corruption-class error, not a disk fault
+        assert store.stats.errors == 1
+        assert store.stats.io_errors == 0
+
+
+class TestStoreDegradation:
+    """Consecutive I/O errors demote the store to storeless mode, once, loudly."""
+
+    def _failing(self, tmp_path, degrade_after=3):
+        store = ArtifactStore(root=tmp_path / "sick", fingerprint="test-fp", degrade_after=degrade_after)
+
+        def _eio_read(path):
+            raise OSError(5, "injected EIO")
+
+        def _eio_write(path, payload):
+            raise OSError(5, "injected EIO")
+
+        store._read = _eio_read
+        store._write = _eio_write
+        return store
+
+    def test_streak_of_io_errors_degrades_with_one_warning(self, tmp_path, caplog):
+        store = self._failing(tmp_path, degrade_after=3)
+        with caplog.at_level("WARNING", logger="repro.store.artifacts"):
+            for index in range(5):
+                assert store.save("ns", {"k": index}, "value") is False
+        assert store.degraded
+        warnings = [record for record in caplog.records if "degraded to storeless mode" in record.message]
+        assert len(warnings) == 1
+        # degraded short-circuit: only the first 3 saves reached the I/O layer
+        assert store.stats.io_errors == 3
+        assert store.snapshot()["degraded"] is True
+        assert store.snapshot()["io_errors"] == 3
+
+    def test_degraded_store_short_circuits_loads(self, tmp_path):
+        store = self._failing(tmp_path, degrade_after=2)
+        store.load("ns", {"k": 1})
+        store.load("ns", {"k": 2})
+        assert store.degraded
+        misses_before = store.stats.misses
+        assert store.load("ns", {"k": 3}) is None
+        assert store.stats.misses == misses_before + 1
+        assert store.stats.io_errors == 2  # the third load never hit _read
+
+    def test_success_resets_the_streak(self, store, monkeypatch):
+        real_write = type(store)._write
+        calls = {"n": 0}
+
+        def _flaky_write(self, path, payload):
+            calls["n"] += 1
+            if calls["n"] != 3:
+                raise OSError(5, "injected EIO")
+            real_write(self, path, payload)
+
+        monkeypatch.setattr(type(store), "_write", _flaky_write)
+        store.save("ns", {"k": 1}, "v")  # streak 1
+        store.save("ns", {"k": 2}, "v")  # streak 2
+        assert store.save("ns", {"k": 3}, "v") is True  # streak reset
+        store.save("ns", {"k": 4}, "v")  # streak 1 again
+        store.save("ns", {"k": 5}, "v")  # streak 2 — still below 3
+        assert not store.degraded
+
+    def test_missing_artifact_is_not_an_io_error(self, store):
+        assert store.load("ns", {"k": "absent"}) is None
+        assert store.stats.io_errors == 0
+        assert not store.degraded
+
+    def test_clear_rearms_a_degraded_store(self, tmp_path):
+        store = self._failing(tmp_path, degrade_after=1)
+        store.load("ns", {"k": 1})
+        assert store.degraded
+        store.clear()
+        assert not store.degraded
