@@ -19,7 +19,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 ci tier2-bench bench bench-compare bench-baseline lint
+.PHONY: tier1 ci tier2-bench bench bench-compare bench-baseline lint profile
 
 ## lint: fast static checks — byte-compile everything, pyflakes when installed,
 ## and fail if a generated artifact (BENCH report, store directory) is tracked
@@ -78,6 +78,12 @@ bench-baseline:
 ## tier2-bench: pipeline benchmark smoke (emits benchmarks/BENCH_pipeline.json)
 tier2-bench:
 	$(PYTHON) -m pytest benchmarks/bench_pipeline.py -q
+
+## profile: where do the cycles go — cProfile a representative transplant and
+## emit the machine-readable hotspot report next to the bench report (both are
+## gitignored; CI uploads them together as build artifacts)
+profile:
+	$(PYTHON) scripts/profile_hotspots.py --json benchmarks/PROFILE_hotspots.json
 
 ## bench: the full benchmark campaign (tables, figures, pipeline).  The files
 ## are globbed explicitly because pytest's default discovery pattern

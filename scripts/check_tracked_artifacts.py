@@ -22,6 +22,7 @@ import sys
 #: Tracked paths matching any of these patterns fail the check.
 FORBIDDEN_PATTERNS = (
     "benchmarks/BENCH_*.json",
+    "benchmarks/PROFILE_*.json",
     ".repro-store/*",
     "*/.repro-store/*",
     "repro-store/*",

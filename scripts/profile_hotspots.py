@@ -15,6 +15,7 @@ Usage::
     PYTHONPATH=src python scripts/profile_hotspots.py --suite slt --host duckdb
     PYTHONPATH=src python scripts/profile_hotspots.py --top 40 --sort tottime
     PYTHONPATH=src python scripts/profile_hotspots.py --output /tmp/hotspots.prof
+    PYTHONPATH=src python scripts/profile_hotspots.py --json benchmarks/PROFILE_hotspots.json
 
 The workload is one cold :func:`repro.core.transplant.run_transplant` of a
 generated suite (store disabled so execution is actually measured, statement
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 from io import StringIO
@@ -64,6 +66,50 @@ def print_stats(profile: cProfile.Profile, top: int, sort: str, leaves_only: boo
     print(buffer.getvalue())
 
 
+def _stats_table(profile: cProfile.Profile, top: int, sort_key) -> list[dict]:
+    """Top-``top`` functions as JSON-ready rows, sorted by ``sort_key``.
+
+    ``pstats`` entries are ``(file, line, name) -> (cc, nc, tt, ct, callers)``;
+    the rows keep both the primitive and total call counts so recursive
+    frames read honestly.
+    """
+    entries = pstats.Stats(profile).stats.items()
+    rows = sorted(entries, key=sort_key, reverse=True)[:top]
+    table = []
+    for (filename, line, name), (primitive_calls, calls, tottime, cumtime, _callers) in rows:
+        table.append(
+            {
+                "function": name,
+                "file": filename,
+                "line": line,
+                "ncalls": calls,
+                "primitive_calls": primitive_calls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    return table
+
+
+def write_json_report(path: str, profile: cProfile.Profile, top: int, workload: dict) -> None:
+    """One machine-readable report: workload metadata + top-N by both sorts.
+
+    The report lands next to ``benchmarks/BENCH_pipeline.json`` in CI so a
+    regression flagged by :mod:`scripts.bench_compare` comes with the
+    function-level picture of where the cycles went.
+    """
+    report = {
+        "schema": "profile_hotspots/v1",
+        "workload": workload,
+        "top_by_tottime": _stats_table(profile, top, sort_key=lambda item: item[1][2]),
+        "top_by_cumtime": _stats_table(profile, top, sort_key=lambda item: item[1][3]),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"json report written to {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--suite", default="slt", help="donor suite to generate (default slt)")
@@ -76,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--top", type=int, default=25, help="rows per stats table (default 25)")
     parser.add_argument("--sort", default="cumulative", choices=["cumulative", "tottime", "ncalls"], help="sort order")
     parser.add_argument("--output", default=None, metavar="PATH", help="also dump raw pstats data to PATH")
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable top-N report (schema profile_hotspots/v1) to PATH",
+    )
     arguments = parser.parse_args(argv)
 
     from repro.perf import cache as perf_cache
@@ -114,6 +166,23 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.output:
         profile.dump_stats(arguments.output)
         print(f"raw profile written to {arguments.output}")
+    if arguments.json:
+        write_json_report(
+            arguments.json,
+            profile,
+            arguments.top,
+            workload={
+                "suite": arguments.suite,
+                "host": arguments.host,
+                "files": arguments.files,
+                "records_per_file": arguments.records,
+                "seed": arguments.seed,
+                "translate": arguments.translate,
+                "caches": "off" if arguments.no_caches else "on",
+                "executed_cases": result.result.executed_cases,
+                "success_rate": round(result.success_rate, 6),
+            },
+        )
     return 0
 
 

@@ -42,6 +42,39 @@ class ExecutionOutcome:
     error_type: str = ""
     statement: str = ""
 
+    def __getattr__(self, name: str) -> Any:
+        # Lazy materialisation backstops.  The result codec stores query rows
+        # column-major and the engine adapters defer text rendering; both drop
+        # the corresponding field from the instance dict and park compact
+        # backing state (``_row_columns``/``_row_count``/``_render_style``)
+        # there instead.  Anything that reads the field — comparisons that
+        # miss the columnar fast path, canonical serialization, equality —
+        # rebuilds it here once; consumers that never look never pay.  The
+        # backing state is plain data, so lazy outcomes pickle across process
+        # workers and stay lazy on the other side.
+        state = self.__dict__
+        if name == "rows":
+            columns = state.get("_row_columns")
+            if columns is not None:
+                rows = [list(row) for row in zip(*columns)]
+            else:
+                count = state.get("_row_count")
+                if count is None:
+                    raise AttributeError(name)
+                rows = [[] for _ in range(count)]
+            state["rows"] = rows
+            return rows
+        if name == "rendered":
+            style = state.get("_render_style")
+            if style is None:
+                raise AttributeError(name)
+            from repro.engine.values import render_value
+
+            rendered = [[render_value(value, style) for value in row] for row in self.rows]
+            state["rendered"] = rendered
+            return rendered
+        raise AttributeError(name)
+
     @property
     def ok(self) -> bool:
         return self.status is ExecutionStatus.OK

@@ -5,7 +5,6 @@ from __future__ import annotations
 from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
 from repro.dialects.base import DialectProfile, get_dialect
 from repro.engine.session import Session
-from repro.engine.values import render_value
 from repro.errors import (
     DatabaseError,
     EngineCrash,
@@ -67,11 +66,14 @@ class MiniDBAdapter(DBMSAdapter):
             return ExecutionOutcome(status=ExecutionStatus.ERROR, error=str(error), error_type=type(error).__name__, statement=sql)
         except RecursionError as error:  # deep expressions: report as an engine error
             return ExecutionOutcome(status=ExecutionStatus.ERROR, error=f"expression too deep: {error}", error_type="RecursionError", statement=sql)
-        rendered = [[render_value(value, self.render_style) for value in row] for row in result.rows]
-        return ExecutionOutcome(
+        outcome = ExecutionOutcome(
             status=ExecutionStatus.OK,
             columns=result.columns if result.is_query else [],
             rows=result.rows,
-            rendered=rendered,
             statement=sql,
         )
+        # render lazily: comparisons consume the raw rows, so the text form is
+        # only built when something (codec, SLT value lists) actually asks
+        del outcome.rendered
+        outcome._render_style = self.render_style
+        return outcome

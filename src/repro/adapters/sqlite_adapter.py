@@ -12,7 +12,6 @@ from typing import Any
 
 from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
 from repro.dialects.sqlite import SQLITE
-from repro.engine.values import render_value
 
 
 class SQLite3Adapter(DBMSAdapter):
@@ -95,11 +94,13 @@ class SQLite3Adapter(DBMSAdapter):
         columns = [entry[0] for entry in cursor.description]
         raw_rows = cursor.fetchall()
         rows: list[list[Any]] = [list(row) for row in raw_rows]
-        rendered = [[render_value(value, self.render_style) for value in row] for row in rows]
-        return ExecutionOutcome(
+        outcome = ExecutionOutcome(
             status=ExecutionStatus.OK,
             columns=columns,
             rows=rows,
-            rendered=rendered,
             statement=sql,
         )
+        # render lazily, same as the MiniDB adapter (see ExecutionOutcome.__getattr__)
+        del outcome.rendered
+        outcome._render_style = self.render_style
+        return outcome

@@ -77,13 +77,27 @@ def _actual_values(outcome: ExecutionOutcome, type_string: str) -> list[list[str
     cell (the seed re-indexed ``type_string`` with two bounds checks for every
     value of every row).
     """
+    state = outcome.__dict__
+    normalize = normalize_value
+    default_code = type_string[-1] if type_string else "T"
+    typed = len(type_string)
+    if "rows" not in state:
+        # codec v2 backing state: normalise whole columns (one type code per
+        # column) and only then zip into rows — no row reassembly beforehand
+        count = state.get("_row_count")
+        if count is not None:
+            columns = state.get("_row_columns")
+            if columns is None or not count:
+                return [[] for _ in range(count)]
+            normalized_columns = [
+                [normalize(value, type_string[position] if position < typed else default_code) for value in column]
+                for position, column in enumerate(columns)
+            ]
+            return [list(row) for row in zip(*normalized_columns)]
     rows = outcome.rows
     if not rows:
         return []
-    default_code = type_string[-1] if type_string else "T"
-    typed = len(type_string)
     codes: list[str] = []
-    normalize = normalize_value
     normalized_rows: list[list[str]] = []
     for row in rows:
         if len(row) != len(codes):

@@ -568,6 +568,14 @@ class WorkerPool:
             executor = "process" if cores > 1 else "thread"
         self.flavour = executor               # "process" | "thread"
         self._pool = None
+        # A thread pool on a single core serialises GIL-bound shard work
+        # anyway, so dispatching through it buys nothing and costs thread
+        # spawns plus lock handoffs per shard.  Run the same worker entry
+        # points inline instead: every shard-level semantic (store probes,
+        # retries, watchdog, circuit breaker, stand-in results) lives in the
+        # task function itself, so only the dispatch overhead disappears.
+        self._inline = self.flavour == "thread" and (os.cpu_count() or 1) <= 1
+        self._inline_adapters: AdapterPool | None = None
 
     def _ensure(self):
         if self._pool is None:
@@ -578,6 +586,7 @@ class WorkerPool:
     def degrade_to_threads(self) -> None:
         self.shutdown()
         self.flavour = "thread"
+        self._inline = (os.cpu_count() or 1) <= 1
 
     def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool, store_ref=None, probe_store: bool = True, policy=None):
         """Submit every shard and gather ``(indexed_results, stats, infra_failures)`` triples."""
@@ -593,11 +602,30 @@ class WorkerPool:
         campaign pool this way.  ``fn`` must be a module-level callable when
         the pool is process-flavoured (it travels by pickle).
         """
+        if self._inline:
+            # Run on this thread, but behind a pool-scoped adapter pool so the
+            # lifecycle matches thread workers: every WorkerPool starts from
+            # fresh adapters (chaos injection and registry swaps are seen) and
+            # reuses them across its own shards, and shutdown() reclaims them.
+            if self._inline_adapters is None:
+                self._inline_adapters = AdapterPool()
+            previous = getattr(_WORKER_POOL_LOCAL, "pool", None)
+            _WORKER_POOL_LOCAL.pool = self._inline_adapters
+            try:
+                return [fn(*task) for task in tasks]
+            finally:
+                _WORKER_POOL_LOCAL.pool = previous
         pool = self._ensure()
         futures = [pool.submit(fn, *task) for task in tasks]
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
+        if self._inline_adapters is not None:
+            try:
+                self._inline_adapters.close()
+            except (OSError, RuntimeError):
+                pass  # AdapterPool.close is best-effort (thread-affine handles)
+            self._inline_adapters = None
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

@@ -132,6 +132,23 @@ def render_predicate(table: TableSpec, rng: random.Random, bucket: str) -> str:
     return f"{column} IN ({in_list}) OR " + " OR ".join(terms)
 
 
+def like_pattern(rng: random.Random) -> str:
+    """A LIKE pattern over the corpus word list (prefix/suffix/infix/underscore).
+
+    Text column values are ``word + digits`` (:func:`literal_for`), so these
+    shapes produce a healthy mix of matching and non-matching rows.
+    """
+    word = rng.choice(_WORDS)
+    shape = rng.random()
+    if shape < 0.4:
+        return word[:2] + "%"
+    if shape < 0.7:
+        return "%" + word[-2:] + "%"
+    if shape < 0.9:
+        return "%" + word[2:4] + "%"
+    return word[0] + "_" + word[2:4] + "%"
+
+
 def choose_bucket(rng: random.Random, buckets: dict[str, float]) -> str:
     """Weighted choice over the WHERE-token buckets of a profile."""
     names = list(buckets)

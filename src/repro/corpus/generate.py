@@ -38,6 +38,7 @@ from repro.corpus.datagen import (
     choose_bucket,
     constant_expression,
     division_expression,
+    like_pattern,
     literal_for,
     make_table,
     render_create_table,
@@ -345,6 +346,17 @@ def _make_records_of_kind(kind: str, profile: SuiteProfile, schema: SchemaState,
         if table is None:
             return _make_schema_setup(profile, schema, rng)
         return [_make_select(kind, profile, schema, table, rng, guards)]
+
+    if kind == "select_like":
+        # text-pattern filtering: exercises the engine's LIKE evaluation (and
+        # its compiled-regex memo) over table columns rather than constants
+        if table is None:
+            return _make_schema_setup(profile, schema, rng)
+        text_columns = table.text_columns()
+        column = rng.choice(text_columns) if text_columns else table.column_names()[0]
+        negated = "NOT " if rng.random() < 0.2 else ""
+        sql = f"SELECT {column} FROM {table.name} WHERE {column} {negated}LIKE '{like_pattern(rng)}' ORDER BY 1"
+        return [LogicalRecord(kind=kind, sql=sql, guards=guards)]
 
     if kind == "select_pg_function":
         expression = rng.choice(

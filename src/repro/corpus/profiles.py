@@ -142,7 +142,8 @@ PAPER_PROFILES: dict[str, SuiteProfile] = {
         records_per_file=11907,
         statement_mix={
             "select_constant": 0.22,
-            "select_table": 0.33,
+            "select_table": 0.30,
+            "select_like": 0.03,
             "select_join": 0.04,
             "select_aggregate": 0.06,
             "select_division": 0.04,

@@ -1,0 +1,592 @@
+"""Compiled column programs: the engine's vectorized expression path.
+
+The scalar evaluator (:mod:`repro.engine.expressions`) resolves every column
+reference through a per-row ``RowContext`` dict and dispatches per AST node on
+every row.  For the executor's whole-column passes — WHERE filtering,
+projection, DISTINCT keys, aggregation grouping, ORDER-BY key extraction, and
+JOIN conditions — all of that work is invariant across rows: the column an
+expression references sits at the same index in every row of a materialised
+relation, and the dialect-dependent decisions (division semantics, ``||``
+meaning, LIKE case folding, cast strictness) are fixed per plan.
+
+:func:`compile_expression` therefore walks an expression once per
+``(dialect, relation layout)`` and produces a chain of plain closures — a
+*column program* ``fn(row, ev) -> value`` — in which each ``ColumnRef`` has
+become a direct ``row[index]`` load.  The per-row cost collapses to the
+closure calls themselves; no context dict is built and no dispatch happens.
+
+Byte-identity with the scalar path is the contract (the differential harness
+pins it; see ``tests/test_differential.py`` and ``tests/test_property_based.py``):
+
+* programs replicate the evaluator's semantics *verbatim*, including the
+  feature-coverage touches (``ev._touch(...)``) in the same order and under
+  the same conditions, and the same operand evaluation order — so errors
+  raised mid-expression surface identically;
+* data-dependent semantics (arithmetic, ``||``, row-value comparison, IS
+  equality) run through the shared evaluator helpers rather than re-derived
+  logic;
+* any construct a program cannot cover — subqueries, ``Star``, unresolvable
+  column references, unsupported operators/types — makes compilation return
+  ``None`` and the *whole clause* falls back to the scalar path, so evaluation
+  order never mixes.
+
+Programs are memoized on the AST node (plans are shared process-wide through
+the statement cache, so one compile serves every execution of a statement
+against relations with the same column layout).
+"""
+
+from __future__ import annotations
+
+import operator as operator_module
+from typing import Any, Callable
+
+from repro.engine import ast_nodes as ast
+from repro.engine import expressions as expr
+from repro.engine.values import cast_value, compare_values
+from repro.errors import ConversionError, UnsupportedTypeError
+
+#: A compiled column program: ``fn(row, ev) -> value`` where ``row`` is one
+#: row list of the relation the program was compiled against and ``ev`` is the
+#: session's :class:`~repro.engine.expressions.ExpressionEvaluator` (passed
+#: per call so programs hold no session state and stay shareable).
+Program = Callable[[list, Any], Any]
+
+#: Memo entry marking an expression that cannot be compiled for a layout.
+_UNSUPPORTED = object()
+
+#: Native Python comparators for the exact-type fast paths in compiled
+#: comparison programs.  Valid only for int/int and str/str operands, where
+#: ``compare_values`` itself reduces to the native comparison (floats are
+#: excluded: NaN ordering differs between Python operators and the three-way
+#: compare's fallthrough).
+_PY_COMPARE: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator_module.eq,
+    "!=": operator_module.ne,
+    "<": operator_module.lt,
+    ">": operator_module.gt,
+    "<=": operator_module.le,
+    ">=": operator_module.ge,
+}
+
+
+def column_positions(columns: list[tuple[str | None, str]]) -> dict[str, int]:
+    """Binding-key -> column index, with ``_bind_row``'s overwrite order."""
+    positions: dict[str, int] = {}
+    for index, (qualifier, name) in enumerate(columns):
+        positions[name.lower()] = index
+        if qualifier:
+            positions[f"{qualifier}.{name}".lower()] = index
+    return positions
+
+
+def ref_binding_key(ref: ast.ColumnRef) -> str:
+    return f"{ref.table}.{ref.name}".lower() if ref.table else ref.name.lower()
+
+
+def relation_layout(relation: Any) -> tuple[tuple, dict[str, int]]:
+    """``(columns key, positions)`` for a relation, cached on the instance.
+
+    A relation's columns are fixed once it is materialised, so the layout is
+    computed once; relations with equal column lists share program memo
+    entries (the key is the column tuple, not the relation identity).
+    """
+    layout = getattr(relation, "_vec_layout", None)
+    if layout is None:
+        columns = relation.columns
+        layout = (tuple(columns), column_positions(columns))
+        relation._vec_layout = layout
+    return layout
+
+
+# -- compilation ------------------------------------------------------------------
+
+
+def compile_expression(
+    node: ast.Expression, positions: dict[str, int], dialect: Any
+) -> Program | None:
+    """Compile ``node`` against a column layout, or None when not coverable."""
+    node_type = type(node)
+
+    if node_type is ast.Literal:
+        value = node.value
+        return lambda row, ev: value
+
+    if node_type is ast.ColumnRef:
+        index = positions.get(ref_binding_key(node))
+        if index is None:
+            # unresolvable here (correlated/outer reference, typo): the scalar
+            # path owns the lookup chain and its error messages
+            return None
+        return lambda row, ev, _i=index: row[_i]
+
+    if node_type is ast.BinaryOp:
+        return _compile_binaryop(node, positions, dialect)
+
+    if node_type is ast.UnaryOp:
+        operand = compile_expression(node.operand, positions, dialect)
+        if operand is None:
+            return None
+        operator = node.operator
+        if operator == "NOT":
+
+            def negate(row: list, ev: Any, _operand=operand) -> Any:
+                value = _operand(row, ev)
+                if value is None:
+                    return None
+                return not bool(value)
+
+            return negate
+        if operator == "-":
+
+            def minus(row: list, ev: Any, _operand=operand) -> Any:
+                number = ev._numeric(_operand(row, ev))
+                return None if number is None else -number
+
+            return minus
+        if operator == "~":
+
+            def invert(row: list, ev: Any, _operand=operand) -> Any:
+                number = ev._numeric(_operand(row, ev))
+                return None if number is None else ~int(number)
+
+            return invert
+        return None  # scalar path raises UnsupportedOperatorError
+
+    if node_type is ast.FunctionCall:
+        name = node.name
+        feature = expr._FUNCTION_FEATURES.get(name)
+        if feature is None:
+            feature = expr._FUNCTION_FEATURES[name] = "function." + name
+        args = [compile_expression(arg, positions, dialect) for arg in node.args]
+        if any(arg is None for arg in args):
+            return None
+
+        def call(row: list, ev: Any, _args=args, _name=name, _feature=feature) -> Any:
+            ev._touch(_feature)
+            return ev.functions.call_scalar(_name, [arg(row, ev) for arg in _args])
+
+        return call
+
+    if node_type is ast.Cast:
+        # the scalar path raises for :: where unsupported (before evaluating
+        # the operand) and for unknown types (after); bail on both so the
+        # whole clause keeps the scalar error ordering
+        if node.via_double_colon and not dialect.supports_double_colon_cast:
+            return None
+        base = node.type_name.split("(")[0].strip().upper()
+        if not dialect.supports_type(base) and base not in ("INTEGER", "TEXT", "REAL"):
+            return None
+        operand = compile_expression(node.operand, positions, dialect)
+        if operand is None:
+            return None
+        type_name = node.type_name
+        strict = dialect.strict_types
+        accepts_integers = dialect.boolean_accepts_integers
+
+        def cast(row: list, ev: Any, _operand=operand) -> Any:
+            ev._touch("operator.cast")
+            value = _operand(row, ev)
+            try:
+                return cast_value(value, type_name, strict=strict, boolean_accepts_integers=accepts_integers)
+            except UnsupportedTypeError:
+                raise
+            except ConversionError:
+                if strict:
+                    raise
+                return value
+
+        return cast
+
+    if node_type is ast.CaseExpression:
+        operand = None
+        if node.operand is not None:
+            operand = compile_expression(node.operand, positions, dialect)
+            if operand is None:
+                return None
+        whens = []
+        for condition, result in node.whens:
+            compiled_condition = compile_expression(condition, positions, dialect)
+            compiled_result = compile_expression(result, positions, dialect)
+            if compiled_condition is None or compiled_result is None:
+                return None
+            whens.append((compiled_condition, compiled_result))
+        default = None
+        if node.default is not None:
+            default = compile_expression(node.default, positions, dialect)
+            if default is None:
+                return None
+        truth = expr._predicate_truth
+
+        def case(row: list, ev: Any, _operand=operand, _whens=whens, _default=default) -> Any:
+            ev._touch("expression.case")
+            if _operand is not None:
+                subject = _operand(row, ev)
+                for condition, result in _whens:
+                    if compare_values(subject, condition(row, ev)) == 0:
+                        return result(row, ev)
+            else:
+                for condition, result in _whens:
+                    if truth(condition(row, ev)):
+                        return result(row, ev)
+            if _default is not None:
+                return _default(row, ev)
+            return None
+
+        return case
+
+    if node_type is ast.InExpression:
+        if node.subquery is not None:
+            return None
+        operand = compile_expression(node.operand, positions, dialect)
+        if operand is None:
+            return None
+        items = [compile_expression(item, positions, dialect) for item in node.items]
+        if any(item is None for item in items):
+            return None
+        negated = node.negated
+
+        def contains(row: list, ev: Any, _operand=operand, _items=items) -> Any:
+            ev._touch("expression.in")
+            value = _operand(row, ev)
+            candidates = [item(row, ev) for item in _items]
+            if value is None:
+                return None
+            saw_null = False
+            for candidate in candidates:
+                if candidate is None:
+                    saw_null = True
+                    continue
+                if compare_values(value, candidate) == 0:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return contains
+
+    if node_type is ast.BetweenExpression:
+        operand = compile_expression(node.operand, positions, dialect)
+        low = compile_expression(node.low, positions, dialect)
+        high = compile_expression(node.high, positions, dialect)
+        if operand is None or low is None or high is None:
+            return None
+        negated = node.negated
+
+        def between(row: list, ev: Any, _operand=operand, _low=low, _high=high) -> Any:
+            ev._touch("expression.between")
+            value = _operand(row, ev)
+            low_value = _low(row, ev)
+            high_value = _high(row, ev)
+            if value is None or low_value is None or high_value is None:
+                return None
+            inside = compare_values(value, low_value) >= 0 and compare_values(value, high_value) <= 0
+            return inside != negated
+
+        return between
+
+    if node_type is ast.LikeExpression:
+        operand = compile_expression(node.operand, positions, dialect)
+        pattern = compile_expression(node.pattern, positions, dialect)
+        if operand is None or pattern is None:
+            return None
+        case_insensitive = node.case_insensitive or dialect.name in ("mysql", "sqlite")
+        negated = node.negated
+        like_regex = expr._like_regex
+
+        def like(row: list, ev: Any, _operand=operand, _pattern=pattern) -> Any:
+            ev._touch("expression.like")
+            value = _operand(row, ev)
+            pattern_value = _pattern(row, ev)
+            if value is None or pattern_value is None:
+                return None
+            matched = like_regex(str(pattern_value), case_insensitive).match(str(value)) is not None
+            return matched != negated
+
+        return like
+
+    if node_type is ast.IsNullExpression:
+        operand = compile_expression(node.operand, positions, dialect)
+        if operand is None:
+            return None
+        negated = node.negated
+        return lambda row, ev, _operand=operand: (_operand(row, ev) is None) != negated
+
+    if node_type is ast.RowValue:
+        items = [compile_expression(item, positions, dialect) for item in node.items]
+        if any(item is None for item in items):
+            return None
+        return lambda row, ev, _items=items: tuple(item(row, ev) for item in _items)
+
+    if node_type is ast.ListLiteral:
+        items = [compile_expression(item, positions, dialect) for item in node.items]
+        if any(item is None for item in items):
+            return None
+
+        def list_literal(row: list, ev: Any, _items=items) -> Any:
+            ev._touch("type.list")
+            return [item(row, ev) for item in _items]
+
+        return list_literal
+
+    if node_type is ast.StructLiteral:
+        pairs = [(key, compile_expression(value, positions, dialect)) for key, value in node.items]
+        if any(value is None for _, value in pairs):
+            return None
+
+        def struct_literal(row: list, ev: Any, _pairs=pairs) -> Any:
+            ev._touch("type.struct")
+            return {key: value(row, ev) for key, value in _pairs}
+
+        return struct_literal
+
+    # Star, Exists, ScalarSubquery, unknown node types: scalar path only
+    return None
+
+
+def _compile_binaryop(node: ast.BinaryOp, positions: dict[str, int], dialect: Any) -> Program | None:
+    left = compile_expression(node.left, positions, dialect)
+    right = compile_expression(node.right, positions, dialect)
+    if left is None or right is None:
+        return None
+    operator = node.operator
+    feature = expr._OPERATOR_FEATURES.get(operator)
+    if feature is None:
+        feature = expr._OPERATOR_FEATURES[operator] = "operator." + operator
+
+    verdict = expr._COMPARISON_VERDICTS.get(operator)
+    if verdict is not None:
+        # exact-type int/int and str/str comparisons dominate predicates; for
+        # those ``compare_values`` reduces to the native Python comparison
+        # (its own fast paths), so the closure answers directly and only falls
+        # through to the general three-way compare for mixed or exotic types
+        py_compare = _PY_COMPARE.get(operator)
+
+        if (
+            py_compare is not None
+            and type(node.left) is ast.ColumnRef
+            and type(node.right) is ast.Literal
+            and type(node.right.value) in (int, str)
+        ):
+            # `column <op> literal` with an int/str literal: inline the column
+            # load and pin the literal, so the common predicate shape runs
+            # without the two operand-closure calls.  Same touch, same
+            # fallback chain — the literal is never a tuple, and ``bool`` row
+            # values miss the exact-type check just like the generic closure.
+            index = positions.get(ref_binding_key(node.left))
+            if index is not None:
+                literal = node.right.value
+
+                def column_literal_comparison(
+                    row: list,
+                    ev: Any,
+                    _index=index,
+                    _literal=literal,
+                    _literal_type=type(literal),
+                    _feature=feature,
+                    _operator=operator,
+                    _py=py_compare,
+                    _verdict=verdict,
+                    _compare=compare_values,
+                ) -> Any:
+                    ev._touch(_feature)
+                    left_value = row[_index]
+                    if type(left_value) is _literal_type:
+                        return _py(left_value, _literal)
+                    if isinstance(left_value, tuple):
+                        return ev._row_value_comparison(_operator, left_value, _literal)
+                    result = _compare(left_value, _literal)
+                    if result is None:
+                        return None
+                    return _verdict(result)
+
+                return column_literal_comparison
+
+        if (
+            py_compare is not None
+            and type(node.left) is ast.ColumnRef
+            and type(node.right) is ast.ColumnRef
+        ):
+            # `column <op> column` — the shape implicit-join predicates take
+            # after the cross product.  Both loads inline; exact-type int/int
+            # and str/str pairs answer natively (bool misses the check, same
+            # as the generic closure), everything else re-joins the generic
+            # fallback chain.
+            left_index = positions.get(ref_binding_key(node.left))
+            right_index = positions.get(ref_binding_key(node.right))
+            if left_index is not None and right_index is not None:
+
+                def column_column_comparison(
+                    row: list,
+                    ev: Any,
+                    _li=left_index,
+                    _ri=right_index,
+                    _feature=feature,
+                    _operator=operator,
+                    _py=py_compare,
+                    _verdict=verdict,
+                    _compare=compare_values,
+                ) -> Any:
+                    ev._touch(_feature)
+                    left_value = row[_li]
+                    right_value = row[_ri]
+                    left_type = type(left_value)
+                    if left_type is type(right_value) and (left_type is int or left_type is str):
+                        return _py(left_value, right_value)
+                    if isinstance(left_value, tuple) or isinstance(right_value, tuple):
+                        return ev._row_value_comparison(_operator, left_value, right_value)
+                    result = _compare(left_value, right_value)
+                    if result is None:
+                        return None
+                    return _verdict(result)
+
+                return column_column_comparison
+
+        def comparison(
+            row: list,
+            ev: Any,
+            _left=left,
+            _right=right,
+            _feature=feature,
+            _operator=operator,
+            _py=py_compare,
+            _verdict=verdict,
+            _compare=compare_values,
+        ) -> Any:
+            ev._touch(_feature)
+            left_value = _left(row, ev)
+            right_value = _right(row, ev)
+            left_type = type(left_value)
+            right_type = type(right_value)
+            if _py is not None and (
+                (left_type is int and right_type is int) or (left_type is str and right_type is str)
+            ):
+                return _py(left_value, right_value)
+            if isinstance(left_value, tuple) or isinstance(right_value, tuple):
+                return ev._row_value_comparison(_operator, left_value, right_value)
+            result = _compare(left_value, right_value)
+            if result is None:
+                return None
+            return _verdict(result)
+
+        return comparison
+
+    if operator in expr._LOGICAL_OPERATORS:
+        as_bool = expr._as_bool
+        if operator == "AND":
+
+            def logical_and(row: list, ev: Any, _left=left, _right=right) -> Any:
+                ev._touch(feature)
+                left_bool = as_bool(_left(row, ev))
+                right_bool = as_bool(_right(row, ev))
+                if left_bool is False or right_bool is False:
+                    return False
+                if left_bool is None or right_bool is None:
+                    return None
+                return True
+
+            return logical_and
+
+        def logical_or(row: list, ev: Any, _left=left, _right=right) -> Any:
+            ev._touch(feature)
+            left_bool = as_bool(_left(row, ev))
+            right_bool = as_bool(_right(row, ev))
+            if left_bool is True or right_bool is True:
+                return True
+            if left_bool is None or right_bool is None:
+                return None
+            return False
+
+        return logical_or
+
+    if operator in expr._ARITHMETIC_OPERATORS:
+
+        def arithmetic(row: list, ev: Any, _left=left, _right=right) -> Any:
+            ev._touch(feature)
+            return ev._arithmetic(operator, _left(row, ev), _right(row, ev))
+
+        return arithmetic
+
+    if operator == "||":
+
+        def concat(row: list, ev: Any, _left=left, _right=right) -> Any:
+            ev._touch(feature)
+            return ev._concat_or_or(_left(row, ev), _right(row, ev))
+
+        return concat
+
+    if operator in ("IS", "IS NOT"):
+        want_equal = operator == "IS"
+
+        def is_op(row: list, ev: Any, _left=left, _right=right) -> Any:
+            ev._touch(feature)
+            equal = ev._is_equal(_left(row, ev), _right(row, ev))
+            return equal if want_equal else not equal
+
+        return is_op
+
+    if operator in ("IS DISTINCT FROM", "IS NOT DISTINCT FROM"):
+        want_distinct = operator == "IS DISTINCT FROM"
+
+        def distinct_op(row: list, ev: Any, _left=left, _right=right) -> Any:
+            ev._touch(feature)
+            equal = ev._is_equal(_left(row, ev), _right(row, ev))
+            return (not equal) if want_distinct else equal
+
+        return distinct_op
+
+    return None  # scalar path raises UnsupportedOperatorError
+
+
+#: Root node types whose programs yield only True/False/None, so WHERE can
+#: test ``result is True`` instead of calling ``_predicate_truth`` per row.
+_BOOLEAN_NODE_TYPES = (
+    ast.LikeExpression,
+    ast.BetweenExpression,
+    ast.InExpression,
+    ast.IsNullExpression,
+)
+
+_BOOLEAN_OPERATORS = frozenset(
+    set(expr._COMPARISON_VERDICTS)
+    | expr._LOGICAL_OPERATORS
+    | {"IS", "IS NOT", "IS DISTINCT FROM", "IS NOT DISTINCT FROM"}
+)
+
+
+def returns_boolean(node: ast.Expression) -> bool:
+    node_type = type(node)
+    if node_type in _BOOLEAN_NODE_TYPES:
+        return True
+    if node_type is ast.BinaryOp:
+        return node.operator in _BOOLEAN_OPERATORS
+    if node_type is ast.UnaryOp:
+        return node.operator == "NOT"
+    return False
+
+
+# -- memoized entry points --------------------------------------------------------
+
+
+def expression_program(
+    node: ast.Expression, columns_key: tuple, positions: dict[str, int], dialect: Any
+) -> Program | None:
+    """Memoized :func:`compile_expression` — one compile per (dialect, layout).
+
+    The memo lives on the AST node because plans are shared process-wide
+    through the statement cache; concurrent workers may race on the dict set,
+    which is benign (both compute the same program).
+    """
+    cache = getattr(node, "_vec_programs", None)
+    if cache is None:
+        cache = {}
+        try:
+            node._vec_programs = cache
+        except AttributeError:  # pragma: no cover - frozen/slotted nodes
+            return compile_expression(node, positions, dialect)
+    key = (dialect.name, columns_key)
+    program = cache.get(key)
+    if program is None:
+        program = compile_expression(node, positions, dialect)
+        cache[key] = program if program is not None else _UNSUPPORTED
+        return program
+    return None if program is _UNSUPPORTED else program

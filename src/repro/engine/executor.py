@@ -12,15 +12,19 @@ dialect-specific recursion policies the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Callable
 
 from repro.dialects.base import DialectProfile, NullOrder
 from repro.engine import ast_nodes as ast
-from repro.engine.expressions import ExpressionEvaluator, RowContext
+from repro.engine import columnar
+from repro.engine.columnar import column_positions as _column_positions, ref_binding_key as _ref_binding_key
+from repro.engine.expressions import ExpressionEvaluator, RowContext, _predicate_truth
 from repro.engine.functions import evaluate_aggregate, is_aggregate
 from repro.engine.storage import Database, Table
 from repro.engine.values import compare_values, render_value
 from repro.perf import cache as perf_cache
+from repro.perf import vectorize
 from repro.errors import CatalogError, DatabaseError, EngineHang, UnsupportedStatementError
 
 #: Iteration budget for recursive CTEs before MiniDB declares a hang.
@@ -49,13 +53,57 @@ class Relation:
     def rename(self, qualifier: str) -> "Relation":
         return Relation(columns=[(qualifier, name) for _, name in self.columns], rows=self.rows)
 
+    def with_rows(self, rows: list[list[Any]]) -> "Relation":
+        """Same shape, different rows — carries the vectorization layout over."""
+        relation = Relation(columns=self.columns, rows=rows)
+        layout = getattr(self, "_vec_layout", None)
+        if layout is not None:
+            relation._vec_layout = layout
+        src_positions = getattr(self, "_src_positions", None)
+        if src_positions is not None:
+            relation._src_positions = src_positions
+        return relation
+
+    def column_values(self, index: int) -> list[Any]:
+        """One column of the relation as a list (the lazy columnar view).
+
+        Columns are extracted on first access and cached; only call this on
+        relations that are fully materialised (the cache does not watch for
+        later row appends).
+        """
+        cache = getattr(self, "_column_cache", None)
+        if cache is None:
+            cache = {}
+            self._column_cache = cache
+        values = cache.get(index)
+        if values is None:
+            values = [row[index] for row in self.rows]
+            cache[index] = values
+        return values
+
     @staticmethod
     def from_table(table: Table, qualifier: str | None = None) -> "Relation":
         name = qualifier or table.name
-        return Relation(
-            columns=[(name, column.name) for column in table.columns],
-            rows=[list(row) for row in table.rows],
-        )
+        if vectorize.vectorize_enabled():
+            # Share the table's row lists instead of copying each one: no
+            # executor path hands a base-table row object to a query result
+            # (projection, aggregation, VALUES, and compounds all build fresh
+            # lists; INSERT..SELECT and CREATE TABLE AS copy), and statement
+            # handlers replace mutated rows wholesale rather than editing them
+            # in place, so the shared lists are never observed changing.
+            # The column list and its program layout are likewise fixed per
+            # schema, so both are built once and reused across statements.
+            template = getattr(table, "_relation_template", None)
+            if template is None or template[0] != table.schema_version or template[1] != name:
+                columns = [(name, column.name) for column in table.columns]
+                layout = (tuple(columns), columnar.column_positions(columns))
+                template = (table.schema_version, name, columns, layout)
+                table._relation_template = template
+            relation = Relation(columns=template[2], rows=table.rows)
+            relation._vec_layout = template[3]
+            return relation
+        rows = [list(row) for row in table.rows]
+        return Relation(columns=[(name, column.name) for column in table.columns], rows=rows)
 
 
 def _binding_keys(columns: list[tuple[str | None, str]]) -> list[tuple[str, str | None]]:
@@ -148,20 +196,6 @@ def _collect_column_refs(expression: ast.Expression) -> "list[ast.ColumnRef] | N
     except AttributeError:  # pragma: no cover - frozen/slotted nodes
         pass
     return result
-
-
-def _column_positions(columns: list[tuple[str | None, str]]) -> dict[str, int]:
-    """Binding-key -> column index, with :func:`_bind_row`'s overwrite order."""
-    positions: dict[str, int] = {}
-    for index, (qualifier, name) in enumerate(columns):
-        positions[name.lower()] = index
-        if qualifier:
-            positions[f"{qualifier}.{name}".lower()] = index
-    return positions
-
-
-def _ref_binding_key(ref: ast.ColumnRef) -> str:
-    return f"{ref.table}.{ref.name}".lower() if ref.table else ref.name.lower()
 
 
 def _expression_name(expression: ast.Expression) -> str:
@@ -383,8 +417,19 @@ class SelectExecutor:
         if core.where is not None:
             self._touch("executor.filter")
             kept = []
-            binding = self._filter_binding(core.where, source) if perf_cache.caching_enabled() and outer is None else None
-            if binding is not None:
+            program = self._program_for(core.where, source) if vectorize.vectorize_enabled() else None
+            binding = None
+            if program is None:
+                binding = self._filter_binding(core.where, source) if perf_cache.caching_enabled() and outer is None else None
+            if program is not None:
+                # compiled column program: the whole predicate runs as a chain
+                # of closures with direct row[index] column loads
+                evaluator = self.evaluator
+                if columnar.returns_boolean(core.where):
+                    kept = [row for row in source.rows if program(row, evaluator) is True]
+                else:
+                    kept = [row for row in source.rows if _predicate_truth(program(row, evaluator))]
+            elif binding is not None:
                 # bind only the columns the predicate references
                 evaluate_predicate = self.evaluator.evaluate_predicate
                 where = core.where
@@ -397,9 +442,16 @@ class SelectExecutor:
                     context = _bind_row(source, row, outer)
                     if self.evaluator.evaluate_predicate(core.where, context):
                         kept.append(row)
-            source = Relation(columns=source.columns, rows=kept)
+            source = source.with_rows(kept)
 
-        has_aggregates = bool(core.group_by) or any(_contains_aggregate(item.expression) for item in core.items)
+        has_aggregates = getattr(core, "_has_aggregates", None)
+        if has_aggregates is None:
+            # pure AST property; memoized on the shared plan node
+            has_aggregates = bool(core.group_by) or any(_contains_aggregate(item.expression) for item in core.items)
+            try:
+                core._has_aggregates = has_aggregates
+            except AttributeError:  # pragma: no cover - frozen/slotted nodes
+                pass
         if has_aggregates:
             relation = self._execute_aggregation(core, source, outer)
         else:
@@ -417,12 +469,10 @@ class SelectExecutor:
                     unique_rows.append(row)
                     if unique_sources is not None:
                         unique_sources.append(relation.source_rows[index])
-            relation = Relation(
-                columns=relation.columns,
-                rows=unique_rows,
-                source_columns=relation.source_columns,
-                source_rows=unique_sources,
-            )
+            unique = relation.with_rows(unique_rows)
+            unique.source_columns = relation.source_columns
+            unique.source_rows = unique_sources
+            relation = unique
         return relation
 
     # -- FROM ----------------------------------------------------------------------------
@@ -490,7 +540,30 @@ class SelectExecutor:
             using_columns = [name for _, name in right.columns if name.lower() in left_names]
             join_type = "inner"
 
+        using_pairs: list[tuple[int, int]] | None = None
+        condition_program = None
+        if vectorize.vectorize_enabled():
+            if using_columns:
+                # first-match column resolution, mirroring _value_of; a missing
+                # column keeps the scalar path so its error surfaces lazily
+                # (only when a row pair is actually compared)
+                using_pairs = []
+                for column in using_columns:
+                    left_index = self._index_of(left, column)
+                    right_index = self._index_of(right, column)
+                    if left_index is None or right_index is None:
+                        using_pairs = None
+                        break
+                    using_pairs.append((left_index, right_index))
+            elif condition is not None:
+                condition_program = self._program_for(condition, combined)
+
         def matches(left_row: list[Any], right_row: list[Any]) -> bool:
+            if using_pairs is not None:
+                for left_index, right_index in using_pairs:
+                    if compare_values(left_row[left_index], right_row[right_index]) != 0:
+                        return False
+                return True
             if using_columns:
                 for column in using_columns:
                     left_value = self._value_of(left, left_row, column)
@@ -500,10 +573,19 @@ class SelectExecutor:
                 return True
             if condition is None:
                 return True
+            if condition_program is not None:
+                return _predicate_truth(condition_program(left_row + right_row, self.evaluator))
             context = _bind_row(combined, left_row + right_row, outer)
             return self.evaluator.evaluate_predicate(condition, context)
 
         if join_type in ("cross", "inner", "asof"):
+            if not using_columns and condition is None:
+                # pure cross product (implicit joins): every pair matches, so
+                # skip the per-pair predicate call outright
+                combined.rows = [
+                    left_row + right_row for left_row in left.rows for right_row in right.rows
+                ]
+                return combined
             for left_row in left.rows:
                 for right_row in right.rows:
                     if matches(left_row, right_row):
@@ -553,6 +635,15 @@ class SelectExecutor:
                 return row[index]
         raise CatalogError(f"no such column: {column}")
 
+    @staticmethod
+    def _index_of(relation: Relation, column: str) -> int | None:
+        """First column index named ``column`` (the :meth:`_value_of` rule)."""
+        lowered = column.lower()
+        for index, (_, name) in enumerate(relation.columns):
+            if name.lower() == lowered:
+                return index
+        return None
+
     # -- projection & aggregation -----------------------------------------------------------
 
     def _expand_items(self, items: list[ast.SelectItem], source: Relation) -> list[tuple[ast.Expression, str]]:
@@ -567,19 +658,83 @@ class SelectExecutor:
                 expanded.append((item.expression, item.alias or _expression_name(item.expression)))
         return expanded
 
-    def _project(self, core: ast.SelectCore, source: Relation, outer: RowContext | None) -> Relation:
-        self._touch("executor.projection")
+    def _expanded_items(self, core: ast.SelectCore, source: Relation) -> tuple:
+        """Memoized :meth:`_expand_items` plus the projected relation shell.
+
+        Star expansion synthesises fresh ColumnRef nodes per call; memoizing
+        the expansion per (core, source layout) keeps those nodes stable so
+        their compiled programs are reused across executions of the shared
+        plan.  Non-star items do not depend on the source at all.  The output
+        column list and its vectorization layout ride along in the memo, so
+        downstream clauses (ORDER BY, DISTINCT) compiling against the
+        projected relation never recompute column positions.
+
+        Returns ``(expanded, columns, layout)`` where ``layout`` is the
+        ``(columns_key, positions)`` pair for the projected columns.
+        """
+        if not vectorize.vectorize_enabled():
+            expanded = self._expand_items(core.items, source)
+            columns = [(None, name) for _, name in expanded]
+            return expanded, columns, None
+        if not any(isinstance(item.expression, ast.Star) for item in core.items):
+            cached = getattr(core, "_expanded_plain", None)
+            if cached is None:
+                cached = self._expanded_shell(core, source)
+                try:
+                    core._expanded_plain = cached
+                except AttributeError:  # pragma: no cover - frozen/slotted nodes
+                    pass
+            return cached
+        columns_key, _ = columnar.relation_layout(source)
+        cache = getattr(core, "_expanded_by_layout", None)
+        if cache is None:
+            cache = {}
+            try:
+                core._expanded_by_layout = cache
+            except AttributeError:  # pragma: no cover - frozen/slotted nodes
+                return self._expanded_shell(core, source)
+        cached = cache.get(columns_key)
+        if cached is None:
+            cached = self._expanded_shell(core, source)
+            cache[columns_key] = cached
+        return cached
+
+    def _expanded_shell(self, core: ast.SelectCore, source: Relation) -> tuple:
         expanded = self._expand_items(core.items, source)
         columns = [(None, name) for _, name in expanded]
+        layout = (tuple(columns), columnar.column_positions(columns))
+        return expanded, columns, layout
+
+    def _project(self, core: ast.SelectCore, source: Relation, outer: RowContext | None) -> Relation:
+        self._touch("executor.projection")
+        expanded, columns, layout = self._expanded_items(core, source)
         result = Relation(columns=columns, rows=[], source_columns=list(source.columns), source_rows=[])
-        if perf_cache.caching_enabled() and outer is None:
+        if layout is not None:
+            result._vec_layout = layout
+            source_layout = getattr(source, "_vec_layout", None)
+            if source_layout is not None:
+                # ORDER BY resolves unprojected columns against source_rows;
+                # hand it the source positions instead of a recompute
+                result._src_positions = source_layout[1]
+        if (perf_cache.caching_enabled() or vectorize.vectorize_enabled()) and outer is None:
             # plain-column projections resolve to source positions once and
             # slice rows directly, skipping per-row binding and evaluation
             indices = self._projection_indices(expanded, source)
             if indices is not None:
-                for row in source.rows:
-                    result.rows.append([row[index] for index in indices])
-                    result.source_rows.append(row)
+                if len(indices) == 1:
+                    index = indices[0]
+                    result.rows = [[row[index]] for row in source.rows]
+                else:
+                    getter = itemgetter(*indices)
+                    result.rows = [list(getter(row)) for row in source.rows]
+                result.source_rows = list(source.rows)
+                return result
+        if vectorize.vectorize_enabled():
+            programs = self._programs_for([expression for expression, _ in expanded], source)
+            if programs is not None:
+                evaluator = self.evaluator
+                result.rows = [[program(row, evaluator) for program in programs] for row in source.rows]
+                result.source_rows = list(source.rows)
                 return result
         for row in source.rows:
             context = _bind_row(source, row, outer)
@@ -597,7 +752,7 @@ class SelectExecutor:
         """
         if not all(type(expression) is ast.ColumnRef for expression, _ in expanded):
             return None
-        positions = _column_positions(source.columns)
+        positions = columnar.relation_layout(source)[1]
         indices: list[int] = []
         for expression, _ in expanded:
             position = positions.get(_ref_binding_key(expression))
@@ -606,6 +761,27 @@ class SelectExecutor:
             indices.append(position)
         return indices
 
+    def _program_for(self, expression: ast.Expression, source: Relation):
+        """Compiled column program for ``expression`` over ``source``, or None."""
+        columns_key, positions = columnar.relation_layout(source)
+        return columnar.expression_program(expression, columns_key, positions, self.dialect)
+
+    def _programs_for(self, expressions: list, source: Relation) -> "list | None":
+        """Programs for every expression, or None when any fails to compile.
+
+        All-or-nothing so a clause never mixes compiled and scalar evaluation
+        (which could reorder errors and feature touches between items).
+        """
+        columns_key, positions = columnar.relation_layout(source)
+        dialect = self.dialect
+        programs = []
+        for expression in expressions:
+            program = columnar.expression_program(expression, columns_key, positions, dialect)
+            if program is None:
+                return None
+            programs.append(program)
+        return programs
+
     @staticmethod
     def _filter_binding(where: ast.Expression, source: Relation) -> "list[tuple[str, int]] | None":
         """(binding key, column index) pairs covering every column the
@@ -613,7 +789,7 @@ class SelectExecutor:
         refs = _collect_column_refs(where)
         if refs is None:
             return None
-        positions = _column_positions(source.columns)
+        positions = columnar.relation_layout(source)[1]
         binding: dict[str, int] = {}
         for ref in refs:
             key = _ref_binding_key(ref)
@@ -629,19 +805,29 @@ class SelectExecutor:
         group_keys: dict[tuple, list[Any]] = {}
         if core.group_by:
             self._touch("executor.group_by")
-            for row in source.rows:
-                context = _bind_row(source, row, outer)
-                key_values = [self.evaluator.evaluate(expression, context) for expression in core.group_by]
-                key = tuple(render_value(value) for value in key_values)
-                groups.setdefault(key, []).append(row)
-                group_keys[key] = key_values
+            programs = self._programs_for(core.group_by, source) if vectorize.vectorize_enabled() else None
+            if programs is not None:
+                evaluator = self.evaluator
+                for row in source.rows:
+                    key_values = [program(row, evaluator) for program in programs]
+                    key = tuple(render_value(value) for value in key_values)
+                    groups.setdefault(key, []).append(row)
+                    group_keys[key] = key_values
+            else:
+                for row in source.rows:
+                    context = _bind_row(source, row, outer)
+                    key_values = [self.evaluator.evaluate(expression, context) for expression in core.group_by]
+                    key = tuple(render_value(value) for value in key_values)
+                    groups.setdefault(key, []).append(row)
+                    group_keys[key] = key_values
         else:
             groups[("__all__",)] = list(source.rows)
             group_keys[("__all__",)] = []
 
-        expanded = self._expand_items(core.items, source)
-        columns = [(None, name) for _, name in expanded]
+        expanded, columns, layout = self._expanded_items(core, source)
         result = Relation(columns=columns, rows=[])
+        if layout is not None:
+            result._vec_layout = layout
 
         for key, rows in groups.items():
             if not rows and not core.group_by:
@@ -671,10 +857,15 @@ class SelectExecutor:
             if expression.is_star or not expression.args:
                 values = [1] * len(group_rows)
                 return evaluate_aggregate(expression.name, values, self.dialect, distinct=expression.distinct, is_star=True)
-            values = []
-            for row in group_rows:
-                context = _bind_row(source, row, outer)
-                values.append(self.evaluator.evaluate(expression.args[0], context))
+            program = self._program_for(expression.args[0], source) if vectorize.vectorize_enabled() else None
+            if program is not None:
+                evaluator = self.evaluator
+                values = [program(row, evaluator) for row in group_rows]
+            else:
+                values = []
+                for row in group_rows:
+                    context = _bind_row(source, row, outer)
+                    values.append(self.evaluator.evaluate(expression.args[0], context))
             return evaluate_aggregate(expression.name, values, self.dialect, distinct=expression.distinct)
         if isinstance(expression, ast.BinaryOp):
             left = self._evaluate_with_aggregates(expression.left, group_rows, source, representative, outer)
@@ -748,9 +939,12 @@ class SelectExecutor:
         """
         positions: dict[str, tuple[str, int]] = {}
         if source_rows is not None and relation.source_columns is not None:
-            for where, index in _column_positions(relation.source_columns).items():
+            src_positions = getattr(relation, "_src_positions", None)
+            if src_positions is None:
+                src_positions = _column_positions(relation.source_columns)
+            for where, index in src_positions.items():
                 positions[where] = ("src", index)
-        for where, index in _column_positions(relation.columns).items():
+        for where, index in columnar.relation_layout(relation)[1].items():
             positions[where] = ("row", index)
         plan: list[tuple[str, int]] = []
         for item in order_by:
@@ -769,7 +963,10 @@ class SelectExecutor:
     def _apply_order_by(self, relation: Relation, order_by: list[ast.OrderItem], outer: RowContext | None) -> Relation:
         self._touch("executor.order_by")
         source_rows = relation.source_rows if relation.source_rows is not None and len(relation.source_rows) == len(relation.rows) else None
-        plan = self._order_by_plan(relation, order_by, source_rows) if perf_cache.caching_enabled() and outer is None else None
+        fast = (perf_cache.caching_enabled() or vectorize.vectorize_enabled()) and outer is None
+        plan = self._order_by_plan(relation, order_by, source_rows) if fast else None
+        if plan is not None and vectorize.vectorize_enabled():
+            return self._apply_order_by_columnar(relation, order_by, plan, source_rows)
         if plan is None:
             # binding keys are computed once per ORDER BY instead of once per row
             output_keys = _binding_keys(relation.columns)
@@ -836,7 +1033,142 @@ class SelectExecutor:
             return keys
 
         ordered = [row for _index, row in sorted(enumerate(relation.rows), key=sort_key_for)]
-        return Relation(columns=relation.columns, rows=ordered)
+        return relation.with_rows(ordered)
+
+    def _apply_order_by_columnar(
+        self,
+        relation: Relation,
+        order_by: list[ast.OrderItem],
+        plan: list[tuple[str, int]],
+        source_rows,
+    ) -> Relation:
+        """ORDER BY as whole-column passes over the planned key columns.
+
+        The per-item decisions (null placement, descending) are hoisted out of
+        the row loop; each item's sort keys are built over one column slice,
+        then rows are reordered once via an index sort.  Key construction is
+        identical to :meth:`_apply_order_by`'s ``sort_key_for`` so the ordering
+        is byte-identical to the scalar path.
+        """
+        rows = relation.rows
+        if len(plan) == 1 and rows:
+            ordered = self._order_by_single_key(relation, order_by[0], plan[0], source_rows)
+            if ordered is not None:
+                return ordered
+        key_columns: list[list[tuple]] = []
+        for (where, position), item in zip(plan, order_by):
+            if where == "row":
+                values = relation.column_values(position)
+            elif where == "src":
+                values = [source_row[position] for source_row in source_rows]
+            else:
+                values = [row[position] if 0 <= position < len(row) else None for row in rows]
+            nulls = item.nulls
+            if nulls is None:
+                default_first = self.dialect.null_order is NullOrder.NULLS_FIRST
+                if item.descending:
+                    default_first = not default_first
+                nulls = "first" if default_first else "last"
+            descending = item.descending
+            # the null-rank and direction decisions are per item, the type
+            # dispatch is exact (engine values are plain int/float/bool/str/
+            # list/dict), and the two loop variants keep the per-value work to
+            # one type check and one tuple build — key for key identical to
+            # the scalar ``sort_key_for``
+            null_key = (0 if nulls == "first" else 2, (0, 0.0))
+            keys: list[tuple] = []
+            append = keys.append
+            if descending:
+                for value in values:
+                    if value is None:
+                        append(null_key)
+                        continue
+                    kind = type(value)
+                    if kind is int or kind is float or kind is bool:
+                        append((1, (0, -float(value))))
+                    elif kind is list or kind is dict:
+                        append((1, (-1, _Reversed(render_value(value)))))
+                    else:
+                        append((1, (-1, _Reversed(str(value)))))
+            else:
+                for value in values:
+                    if value is None:
+                        append(null_key)
+                        continue
+                    kind = type(value)
+                    if kind is int or kind is float or kind is bool:
+                        append((1, (0, float(value))))
+                    elif kind is list or kind is dict:
+                        append((1, (1, render_value(value))))
+                    else:
+                        append((1, (1, str(value))))
+            key_columns.append(keys)
+        if len(key_columns) == 1:
+            # single key: sort on the bare keys (same order as 1-tuples)
+            order = sorted(range(len(rows)), key=key_columns[0].__getitem__)
+        else:
+            row_keys = list(zip(*key_columns))
+            order = sorted(range(len(rows)), key=row_keys.__getitem__)
+        return relation.with_rows([rows[index] for index in order])
+
+    def _order_by_single_key(
+        self,
+        relation: Relation,
+        item: ast.OrderItem,
+        placement: tuple[str, int],
+        source_rows,
+    ) -> Relation | None:
+        """Single-key ORDER BY over a uniformly-typed column, or None.
+
+        When every non-null key value is exactly ``int`` (so floats and their
+        NaNs, and ``bool``, fall back) or exactly ``str``, the nested tuple
+        keys of the generic pass collapse to the bare float/str keys — same
+        ordering, since all non-null keys share one rank and one kind.  Ints
+        still sort by their ``float()`` image (ties between distinct huge
+        ints included) and nulls keep their first/last block placement, so
+        the order stays byte-identical to the scalar path.
+        """
+        rows = relation.rows
+        where, position = placement
+        if where == "row":
+            values = relation.column_values(position)
+        elif where == "src":
+            values = [source_row[position] for source_row in source_rows]
+        else:
+            values = [row[position] if 0 <= position < len(row) else None for row in rows]
+        uniform: Any = None
+        for value in values:
+            kind = type(value)
+            if kind is int or kind is str:
+                if uniform is None:
+                    uniform = kind
+                elif kind is not uniform:
+                    return None
+            elif value is not None:
+                return None
+        if uniform is None:  # all-null column: nothing to reorder cheaply
+            return None
+        if uniform is int:
+            keys = [0.0 if value is None else float(value) for value in values]
+        else:
+            keys = values
+        descending = item.descending
+        if None not in values:
+            order = sorted(range(len(rows)), key=keys.__getitem__, reverse=descending)
+        else:
+            nulls = item.nulls
+            if nulls is None:
+                default_first = self.dialect.null_order is NullOrder.NULLS_FIRST
+                if descending:
+                    default_first = not default_first
+                nulls = "first" if default_first else "last"
+            null_positions = []
+            non_null = []
+            for index, value in enumerate(values):
+                (null_positions if value is None else non_null).append(index)
+            non_null.sort(key=keys.__getitem__, reverse=descending)
+            order = null_positions + non_null if nulls == "first" else non_null + null_positions
+        return relation.with_rows([rows[index] for index in order])
 
     def _apply_limit(self, relation: Relation, statement: ast.SelectStatement, outer: RowContext | None) -> Relation:
         if statement.limit is None and statement.offset is None:
@@ -852,7 +1184,7 @@ class SelectExecutor:
             limit_value = self.evaluator.evaluate(statement.limit, context)
             if limit_value is not None:
                 rows = rows[: int(limit_value)]
-        return Relation(columns=relation.columns, rows=rows)
+        return relation.with_rows(rows)
 
 
 class _Reversed:

@@ -66,7 +66,7 @@ def _like_regex(pattern: str, case_insensitive: bool) -> "re.Pattern[str]":
     if not perf_cache.caching_enabled():
         return _compile_like(pattern, case_insensitive)
     key = (pattern, case_insensitive)
-    compiled = _LIKE_REGEX_CACHE.get(key)
+    compiled = _LIKE_REGEX_CACHE.peek(key)
     if compiled is None:
         compiled = _compile_like(pattern, case_insensitive)
         _LIKE_REGEX_CACHE.put(key, compiled)
@@ -77,6 +77,28 @@ def _compile_like(pattern: str, case_insensitive: bool) -> "re.Pattern[str]":
     # re.escape escapes % and _ as themselves (no backslash needed), handle both
     regex = "^" + re.escape(pattern).replace(r"\%", ".*").replace("%", ".*").replace("_", ".") + "$"
     return re.compile(regex, re.IGNORECASE if case_insensitive else 0)
+
+
+def _predicate_truth(result: Any) -> bool:
+    """WHERE/HAVING truth of one evaluated predicate result (NULL is false).
+
+    Module-level so the columnar executor's compiled programs share the exact
+    semantics of :meth:`ExpressionEvaluator.evaluate_predicate`.
+    """
+    # comparisons, AND/OR, IS, IN, LIKE ... all yield bool or None: take
+    # the identity checks before any isinstance dispatch
+    if result is True:
+        return True
+    if result is False or result is None:
+        return False
+    if isinstance(result, (int, float)):
+        return result != 0
+    if isinstance(result, str):
+        try:
+            return bool(to_boolean(result))
+        except ConversionError:
+            return False
+    return bool(result)
 
 
 def _as_bool(value: Any) -> bool | None:
@@ -167,14 +189,14 @@ class ExpressionEvaluator:
         self.functions = functions
         self.subquery_executor = subquery_executor
         self._feature_hook = feature_hook or (lambda name: None)
+        # hot-path alias: touches go straight to the hook (for a live session,
+        # ``features.add``) without the intermediate method frame
+        self._touch = self._feature_hook
         # node class -> bound handler, filled on first encounter; avoids the
         # per-call string build + getattr of the seed dispatch
         self._dispatch_table: dict[type, Callable[[Any, RowContext], Any]] = {}
 
     # -- helpers ----------------------------------------------------------------
-
-    def _touch(self, feature: str) -> None:
-        self._feature_hook(feature)
 
     def _numeric(self, value: Any) -> int | float | None:
         return to_number(value, strict=self.dialect.strict_types and not self.dialect.allows_string_plus_integer)
@@ -199,21 +221,7 @@ class ExpressionEvaluator:
 
     def evaluate_predicate(self, node: ast.Expression, context: RowContext) -> bool:
         """Evaluate ``node`` as a WHERE/HAVING predicate (NULL counts as false)."""
-        result = self.evaluate(node, context)
-        # comparisons, AND/OR, IS, IN, LIKE ... all yield bool or None: take
-        # the identity checks before any isinstance dispatch
-        if result is True:
-            return True
-        if result is False or result is None:
-            return False
-        if isinstance(result, (int, float)):
-            return result != 0
-        if isinstance(result, str):
-            try:
-                return bool(to_boolean(result))
-            except ConversionError:
-                return False
-        return bool(result)
+        return _predicate_truth(self.evaluate(node, context))
 
     # -- node handlers ------------------------------------------------------------
 

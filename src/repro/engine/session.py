@@ -15,13 +15,15 @@ from typing import Any
 
 from repro.dialects.base import DialectProfile, get_dialect
 from repro.engine import ast_nodes as ast
+from repro.engine import columnar
 from repro.engine.executor import Relation, SelectExecutor
-from repro.engine.expressions import ExpressionEvaluator, RowContext
+from repro.engine.expressions import ExpressionEvaluator, RowContext, _predicate_truth
 from repro.engine.functions import FunctionRegistry
 from repro.engine.parser import parse_sql
 from repro.engine.storage import Column, Database, Index, Table, View
-from repro.engine.values import render_value
+from repro.engine.values import coerce_to_declared, render_value
 from repro.perf import cache as perf_cache
+from repro.perf import vectorize
 from repro.errors import (
     CatalogError,
     ConfigurationError,
@@ -87,6 +89,7 @@ class Session:
         self.enable_faults = enable_faults
         self.settings: dict[str, Any] = {}
         self.features: set[str] = set()
+        self._touch = self.features.add
         self.statement_count = 0
         self.crashed = False
         self._functions = FunctionRegistry(self.dialect, seed=seed)
@@ -106,9 +109,11 @@ class Session:
         self._transaction_updates: set[str] = set()
 
     # -- infrastructure -----------------------------------------------------------
-
-    def _touch(self, feature: str) -> None:
-        self.features.add(feature)
+    #
+    # ``_touch`` is bound in ``__init__`` straight to ``self.features.add``
+    # (the set object lives for the session — ``reset`` never replaces it),
+    # so the executor and evaluator hooks record features without an extra
+    # call frame on the hot path.
 
     def _execute_subquery(self, statement: ast.SelectStatement, outer: RowContext | None) -> list[list[Any]]:
         return self._executor.execute_rows(statement, outer)
@@ -145,7 +150,7 @@ class Session:
         if not perf_cache.caching_enabled():
             return self._match_fault_signatures(sql)
         key = (self.dialect.name, sql)
-        matched = _FAULT_MATCH_CACHE.get(key)
+        matched = _FAULT_MATCH_CACHE.peek(key)
         if matched is None:
             matched = self._match_fault_signatures(sql)
             _FAULT_MATCH_CACHE.put(key, matched)
@@ -191,7 +196,7 @@ class Session:
         """Parse ``sql``, memoizing the plan (and syntax errors) process-wide."""
         if not perf_cache.caching_enabled():
             return parse_sql(sql)
-        entry = _PLAN_CACHE.get(sql)
+        entry = _PLAN_CACHE.peek(sql)
         if entry is None:
             try:
                 entry = (True, parse_sql(sql))
@@ -340,44 +345,118 @@ class Session:
         self._touch("statement.update")
         table = self.database.get_table(statement.table)
         relation = Relation.from_table(table, table.name)
-        updated = 0
-        for row_index, row in enumerate(table.rows):
-            context = RowContext()
-            for (qualifier, name), value in zip(relation.columns, row):
-                context.bind(name, value)
-                context.bind(f"{qualifier}.{name}", value)
-            if statement.where is not None and not self._evaluator.evaluate_predicate(statement.where, context):
-                continue
-            for column_name, expression in statement.assignments:
-                position = table.column_position(column_name)
-                new_value = self._evaluator.evaluate(expression, context)
-                from repro.engine.values import coerce_to_declared
-
-                table.rows[row_index][position] = coerce_to_declared(
-                    new_value,
-                    table.columns[position].type_name,
-                    self.dialect.strict_types,
-                    self.dialect.boolean_accepts_integers,
-                )
-            updated += 1
+        updated = self._update_rows_columnar(statement, table, relation)
+        if updated is None:
+            updated = 0
+            for row_index, row in enumerate(table.rows):
+                context = RowContext()
+                for (qualifier, name), value in zip(relation.columns, row):
+                    context.bind(name, value)
+                    context.bind(f"{qualifier}.{name}", value)
+                if statement.where is not None and not self._evaluator.evaluate_predicate(
+                    statement.where, context
+                ):
+                    continue
+                for column_name, expression in statement.assignments:
+                    position = table.column_position(column_name)
+                    new_value = self._evaluator.evaluate(expression, context)
+                    table.rows[row_index][position] = coerce_to_declared(
+                        new_value,
+                        table.columns[position].type_name,
+                        self.dialect.strict_types,
+                        self.dialect.boolean_accepts_integers,
+                    )
+                updated += 1
+        if updated:
+            table.note_rows_mutated()
         if self._in_transaction:
             self._transaction_updates.add(table.name.lower())
         return QueryResult(rowcount=updated, status=f"UPDATE {updated}", statement_type="UPDATE")
+
+    def _update_rows_columnar(
+        self, statement: ast.UpdateStatement, table: Table, relation: Relation
+    ) -> int | None:
+        """Apply an UPDATE through compiled column programs.
+
+        Returns the updated-row count, or None when any clause cannot be
+        compiled — the caller then runs the scalar row-at-a-time pass, which
+        preserves lazy error ordering (e.g. an unknown assignment column only
+        raises once a row matches the WHERE clause).
+        """
+        if not vectorize.vectorize_enabled():
+            return None
+        columns_key, positions = columnar.relation_layout(relation)
+        where_program = None
+        if statement.where is not None:
+            where_program = columnar.expression_program(statement.where, columns_key, positions, self.dialect)
+            if where_program is None:
+                return None
+        compiled: list[tuple[int, Any]] = []
+        try:
+            for column_name, expression in statement.assignments:
+                program = columnar.expression_program(expression, columns_key, positions, self.dialect)
+                if program is None:
+                    return None
+                compiled.append((table.column_position(column_name), program))
+        except CatalogError:
+            return None
+        evaluator = self._evaluator
+        strict = self.dialect.strict_types
+        bool_ints = self.dialect.boolean_accepts_integers
+        updated = 0
+        for row_index, row in enumerate(table.rows):
+            if where_program is not None and not _predicate_truth(where_program(row, evaluator)):
+                continue
+            # evaluate every assignment against the *old* row (the scalar path
+            # snapshots values into a RowContext before mutating), then swap in
+            # the new row wholesale
+            new_row = list(row)
+            for position, program in compiled:
+                new_row[position] = coerce_to_declared(
+                    program(row, evaluator),
+                    table.columns[position].type_name,
+                    strict,
+                    bool_ints,
+                )
+            table.rows[row_index] = new_row
+            updated += 1
+        return updated
 
     def _run_delete(self, statement: ast.DeleteStatement) -> QueryResult:
         self._touch("statement.delete")
         table = self.database.get_table(statement.table)
         relation = Relation.from_table(table, table.name)
-        doomed: list[int] = []
-        for row_index, row in enumerate(table.rows):
-            context = RowContext()
-            for (qualifier, name), value in zip(relation.columns, row):
-                context.bind(name, value)
-                context.bind(f"{qualifier}.{name}", value)
-            if statement.where is None or self._evaluator.evaluate_predicate(statement.where, context):
-                doomed.append(row_index)
+        doomed = self._doomed_rows_columnar(statement, table, relation)
+        if doomed is None:
+            doomed = []
+            for row_index, row in enumerate(table.rows):
+                context = RowContext()
+                for (qualifier, name), value in zip(relation.columns, row):
+                    context.bind(name, value)
+                    context.bind(f"{qualifier}.{name}", value)
+                if statement.where is None or self._evaluator.evaluate_predicate(statement.where, context):
+                    doomed.append(row_index)
         deleted = table.delete_rows(doomed)
         return QueryResult(rowcount=deleted, status=f"DELETE {deleted}", statement_type="DELETE")
+
+    def _doomed_rows_columnar(
+        self, statement: ast.DeleteStatement, table: Table, relation: Relation
+    ) -> list[int] | None:
+        """Collect DELETE row indexes through a compiled WHERE program."""
+        if not vectorize.vectorize_enabled():
+            return None
+        if statement.where is None:
+            return list(range(len(table.rows)))
+        columns_key, positions = columnar.relation_layout(relation)
+        program = columnar.expression_program(statement.where, columns_key, positions, self.dialect)
+        if program is None:
+            return None
+        evaluator = self._evaluator
+        return [
+            row_index
+            for row_index, row in enumerate(table.rows)
+            if _predicate_truth(program(row, evaluator))
+        ]
 
     # -- DDL --------------------------------------------------------------------------------
 
@@ -489,16 +568,19 @@ class Session:
             )
             for row in table.rows:
                 row.append(default_value)
+            table.note_schema_changed()
         elif statement.action == "drop_column" and statement.old_column:
             position = table.column_position(statement.old_column)
             del table.columns[position]
             for row in table.rows:
                 del row[position]
+            table.note_schema_changed()
         elif statement.action == "rename_to" and statement.new_name:
             self.database.rename_table(statement.table, statement.new_name)
         elif statement.action == "rename_column" and statement.old_column and statement.new_name:
             position = table.column_position(statement.old_column)
             table.columns[position].name = statement.new_name
+            table.note_schema_changed()
         else:
             raise UnsupportedStatementError(f"unsupported ALTER TABLE action: {statement.action}")
         return QueryResult(status="ALTER TABLE", statement_type="ALTER TABLE")

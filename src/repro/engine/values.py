@@ -98,13 +98,23 @@ def base_type_name(declared: str) -> str:
     return declared.split("(")[0].strip().upper()
 
 
+#: declared-string -> SQLType memo: every INSERT/CAST re-derives the same few
+#: declared type names, so the split/strip/upper normalisation runs once each.
+_RUNTIME_TYPE_MEMO: dict[str, SQLType] = {}
+
+
 def declared_runtime_type(declared: str) -> SQLType:
     """Map a declared column type name onto a runtime :class:`SQLType`."""
+    resolved = _RUNTIME_TYPE_MEMO.get(declared)
+    if resolved is not None:
+        return resolved
     base = base_type_name(declared)
     try:
-        return _DECLARED_TYPE_MAP[base]
+        resolved = _DECLARED_TYPE_MAP[base]
     except KeyError:
         raise UnsupportedTypeError(f"unknown data type: {declared}") from None
+    _RUNTIME_TYPE_MEMO[declared] = resolved
+    return resolved
 
 
 def is_known_type(declared: str) -> bool:

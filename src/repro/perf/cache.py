@@ -107,6 +107,21 @@ class LRUCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def peek(self, key: Any, default: Any = None) -> Any:
+        """Lock-free read without a recency update.
+
+        For hot memos of *pure* functions the full LRU bookkeeping (lock,
+        ``move_to_end``) costs more than the lookup; ``peek`` trades exact
+        recency for speed — eviction degrades toward insertion order — and a
+        racing eviction merely surfaces as a miss and a recompute.
+        """
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
     def get(self, key: Any, default: Any = None) -> Any:
         with self._lock:
             value = self._data.get(key, _MISSING)

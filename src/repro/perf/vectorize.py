@@ -1,0 +1,65 @@
+"""Process-wide switch for the columnar (vectorized) executor paths.
+
+The engine's hot loops — WHERE filtering, projection, DISTINCT keys,
+aggregation grouping, ORDER-BY key extraction, and JOIN conditions — can
+evaluate expressions through *compiled column programs* (see
+:mod:`repro.engine.columnar`): each referenced column is resolved to a row
+index once per plan, and the per-row evaluation becomes a chain of plain
+closures instead of a ``RowContext`` dict build plus recursive dispatch.
+
+The scalar row-at-a-time path is kept verbatim behind this switch so the
+differential harness can pin ``vectorized == scalar`` byte-identity
+(``tests/test_differential.py``), mirroring how ``repro.perf.cache``
+gates the memo caches:
+
+* ``REPRO_VECTORIZE=off|0|false|no`` in the environment disables the
+  columnar paths for a whole process tree (workers inherit the env).
+* :func:`vectorize_disabled` / :func:`set_vectorize` scope the switch in
+  tests without touching the environment.
+
+The switch only selects *how* expressions are evaluated; results are
+byte-identical either way (compiled programs replicate the evaluator's
+semantics — including feature-coverage touches and error ordering — and
+fall back to the scalar path for any construct they do not cover).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = os.environ.get("REPRO_VECTORIZE", "").strip().lower() not in ("off", "0", "false", "no")
+
+
+def vectorize_enabled() -> bool:
+    """True when the columnar executor paths are active."""
+    return _ENABLED
+
+
+def set_vectorize(enabled: bool) -> bool:
+    """Set the switch; returns the previous value (for try/finally scoping)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def vectorize_disabled() -> Iterator[None]:
+    """Scope with the columnar paths off — the scalar row-at-a-time engine."""
+    previous = set_vectorize(False)
+    try:
+        yield
+    finally:
+        set_vectorize(previous)
+
+
+@contextmanager
+def vectorize_enabled_scope() -> Iterator[None]:
+    """Scope with the columnar paths forced on (tests pinning both paths)."""
+    previous = set_vectorize(True)
+    try:
+        yield
+    finally:
+        set_vectorize(previous)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.perf import cache as perf_cache
 from repro.sqlparser.tokenizer import Token, TokenType, tokenize
 
 
@@ -69,6 +70,11 @@ def _safe_tokenize(sql: str) -> list[Token]:
         return []
 
 
+#: Predicate-complexity memo: the count is a pure function of the SQL text and
+#: the analysis pass recomputes it for every record per campaign flavour.
+_WHERE_COUNT_MEMO = perf_cache.LRUCache("where_tokens", maxsize=16384)
+
+
 def where_token_count(sql: str) -> int:
     """Count significant tokens in the (first, top-level) WHERE predicate.
 
@@ -77,6 +83,17 @@ def where_token_count(sql: str) -> int:
     operators, and keywords of the predicate, but not the ``WHERE`` keyword
     itself — matching a simple "how complex is this predicate" reading.
     """
+    if not perf_cache.caching_enabled():
+        return _where_token_count(sql)
+    cached = _WHERE_COUNT_MEMO.peek(sql)
+    if cached is not None:
+        return cached
+    count = _where_token_count(sql)
+    _WHERE_COUNT_MEMO.put(sql, count)
+    return count
+
+
+def _where_token_count(sql: str) -> int:
     tokens = _safe_tokenize(sql)
     count = 0
     depth = 0

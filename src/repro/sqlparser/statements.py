@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.perf import cache as perf_cache
 from repro.sqlparser.tokenizer import Token, TokenType, tokenize
 
 #: Statement types whose syntax is defined by the ANSI/ISO SQL standard [2].
@@ -197,12 +198,28 @@ def _significant_tokens(sql: str) -> list[Token]:
         return fake
 
 
+#: Statement-type memo: the classification is a pure function of the SQL text
+#: and every record is classified once per host per campaign flavour.
+_TYPE_MEMO = perf_cache.LRUCache("statement_type", maxsize=16384)
+
+
 def statement_type(sql: str) -> str:
     """Return the statement type of ``sql`` (e.g. ``"SELECT"``, ``"CREATE TABLE"``).
 
     psql CLI meta-commands (lines starting with a backslash) are classified as
     ``CLI_COMMAND``; completely empty inputs as ``EMPTY``.
     """
+    if not perf_cache.caching_enabled():
+        return _statement_type(sql)
+    cached = _TYPE_MEMO.peek(sql)
+    if cached is not None:
+        return cached
+    result = _statement_type(sql)
+    _TYPE_MEMO.put(sql, result)
+    return result
+
+
+def _statement_type(sql: str) -> str:
     stripped = sql.lstrip()
     if not stripped:
         return "EMPTY"

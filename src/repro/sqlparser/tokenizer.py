@@ -371,7 +371,7 @@ def tokenize(sql: str, include_whitespace: bool = False, include_comments: bool 
         or not perf_cache.caching_enabled()
     ):
         return list(iter_tokens(sql, include_whitespace=include_whitespace, include_comments=include_comments))
-    cached = _TOKEN_CACHE.get(sql)
+    cached = _TOKEN_CACHE.peek(sql)
     if cached is None:
         cached = tuple(iter_tokens(sql))
         _TOKEN_CACHE.put(sql, cached)

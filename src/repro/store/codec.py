@@ -67,7 +67,7 @@ MAGIC = b"RRC"
 
 #: Wire-format version; bump on any incompatible layout change.  Old blobs
 #: then decode as :class:`CodecError` (a miss), never as garbage.
-CODEC_VERSION = 1
+CODEC_VERSION = 2
 
 #: zlib level 6 is the sweet spot for these payloads (mostly repeated SQL
 #: text and small integer arrays); 9 buys <2% for ~2x the CPU.
@@ -135,6 +135,52 @@ def _encode_value(value: Any, intern: _Interner) -> Any:
     if kind is dict:
         return {"d": [[intern(str(key)), _encode_value(item, intern)] for key, item in value.items()]}
     raise CodecError(f"cannot encode value of type {kind.__name__}")
+
+
+def _encode_rows(execution: Any, intern: _Interner) -> Any:
+    """Query rows, column-major when rectangular (codec v2).
+
+    Rectangular results — every query result the engine produces — encode as
+    ``{"n": row_count, "c": [per-column value arrays]}``; the decoder keeps
+    that layout and hands it to the executor/comparison columnar paths without
+    reassembling row lists.  Zero-width rows keep only the count; ragged rows
+    (never produced by the engine, but representable) fall back to the v1
+    row-major list-of-lists.  Outcomes decoded from a v2 frame and never
+    materialised re-encode straight from their columnar backing state.
+    """
+    state = execution.__dict__
+    if "rows" not in state:
+        columns = state.get("_row_columns")
+        count = state.get("_row_count")
+        if columns is not None:
+            return {"n": count, "c": [[_encode_value(value, intern) for value in column] for column in columns]}
+        if count is not None:
+            return {"n": count}
+    rows = execution.rows
+    if rows:
+        width = len(rows[0])
+        if all(len(row) == width for row in rows):
+            if width == 0:
+                return {"n": len(rows)}
+            return {
+                "n": len(rows),
+                "c": [[_encode_value(row[index], intern) for row in rows] for index in range(width)],
+            }
+    return [[_encode_value(value, intern) for value in row] for row in rows]
+
+
+def _encode_rendered(execution: Any, intern: _Interner) -> Any:
+    """Rendered text, as a render-style marker when it is derivable.
+
+    Outcomes from the engine adapters carry ``_render_style`` — their rendered
+    form is a deterministic function of the rows — so the codec stores just
+    the style name (``{"y": <intern>}``) and the decoder re-derives the text
+    lazily on first access.  Anything else stores the full interned grid.
+    """
+    style = execution.__dict__.get("_render_style")
+    if style is not None:
+        return {"y": intern(style)}
+    return [[intern(value) for value in row] for row in execution.rendered]
 
 
 def _decode_value(payload: Any, strings: list[str]) -> Any:
@@ -231,8 +277,8 @@ def _encode_file_section(file_result: FileResult, test_file: TestFile, intern: _
                     position,
                     _STATUS_TO_CHAR[execution.status],
                     [intern(column) for column in execution.columns],
-                    [[_encode_value(value, intern) for value in row] for row in execution.rows],
-                    [[intern(value) for value in row] for row in execution.rendered],
+                    _encode_rows(execution, intern),
+                    _encode_rendered(execution, intern),
                     intern(execution.error),
                     intern(execution.error_type),
                     intern(execution.statement),
@@ -305,15 +351,32 @@ def _decode_file_section(section: dict, test_file: TestFile, strings: list[str],
                 entry = executions[exe_cursor]
                 exe_cursor += 1
                 execution = new_execution(ExecutionOutcome)
-                execution.__dict__ = {
+                state = {
                     "status": char_to_status[entry[1]],
                     "columns": [strings[index] for index in entry[2]],
-                    "rows": [[decode_value(value, strings) for value in row] for row in entry[3]],
-                    "rendered": [[strings[index] for index in row] for row in entry[4]],
                     "error": strings[entry[5]],
                     "error_type": strings[entry[6]],
                     "statement": strings[entry[7]],
                 }
+                raw_rows = entry[3]
+                if type(raw_rows) is dict:
+                    # column-major (v2): keep the columnar layout; ``rows``
+                    # materialises lazily (ExecutionOutcome.__getattr__) and
+                    # comparison consumes the columns directly
+                    state["_row_count"] = raw_rows["n"]
+                    raw_columns = raw_rows.get("c")
+                    if raw_columns is not None:
+                        state["_row_columns"] = [
+                            [decode_value(value, strings) for value in column] for column in raw_columns
+                        ]
+                else:
+                    state["rows"] = [[decode_value(value, strings) for value in row] for row in raw_rows]
+                raw_rendered = entry[4]
+                if type(raw_rendered) is dict:
+                    state["_render_style"] = strings[raw_rendered["y"]]
+                else:
+                    state["rendered"] = [[strings[index] for index in row] for row in raw_rendered]
+                execution.__dict__ = state
             record_result = new_record_result(RecordResult)
             record_result.__dict__ = {
                 "record": records[record_index],

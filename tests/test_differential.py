@@ -2,9 +2,9 @@
 
 The incremental-campaign machinery rests on a family of equality guarantees —
 incremental == full re-execution, warm store == cold == storeless, workers 1
-== workers 4 — and every one of them is "byte-identical under the canonical
-serialization" (:func:`repro.store.canonical_bytes`), not merely
-"same aggregates".  :func:`assert_equivalent` is the single reusable way to
+== workers 4, vectorized == scalar row-at-a-time — and every one of them is
+"byte-identical under the canonical serialization"
+(:func:`repro.store.canonical_bytes`), not merely "same aggregates".  :func:`assert_equivalent` is the single reusable way to
 pin such guarantees: hand it labelled campaign variants and it asserts that
 every one produces the same canonical bytes.  test_parallel.py and
 test_codec.py build their parity checks on it instead of copy-pasting
@@ -18,6 +18,7 @@ import pytest
 from repro.core.records import TestSuite
 from repro.core.transplant import run_transplant
 from repro.corpus import build_suite
+from repro.perf import vectorize
 from repro.store import ArtifactStore, canonical_bytes
 
 
@@ -78,6 +79,16 @@ class TestCampaignVariants:
         def run(**kwargs):
             return lambda: run_transplant(suite, host, translate_dialect=translate, **kwargs)
 
+        def scalar(invoke):
+            # same campaign, columnar executor paths off: the vectorized
+            # engine (the reference variant above) must be byte-identical to
+            # the scalar row-at-a-time fallback, serial and under workers
+            def wrapped():
+                with vectorize.vectorize_disabled():
+                    return invoke()
+
+            return wrapped
+
         def assembled(**kwargs):
             # drop the suite-level cells so the run must assemble from the
             # per-file artifacts the cold variant persisted
@@ -91,6 +102,8 @@ class TestCampaignVariants:
             {
                 "storeless-serial": run(store=None),
                 "storeless-workers-4": run(store=None, workers=4, executor="thread"),
+                "scalar-serial": scalar(run(store=None)),
+                "scalar-workers-4": scalar(run(store=None, workers=4, executor="thread")),
                 "full-no-incremental": run(store=full_store, incremental=False),
                 "incremental-cold": run(store=store),
                 "warm-replay": run(store=store),

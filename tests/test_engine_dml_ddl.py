@@ -82,6 +82,88 @@ class TestDDL:
             session.execute("SELECT * FROM v")
 
 
+class TestIndexMaintenance:
+    """``Index.entries`` under incremental maintenance (no rebuild per INSERT).
+
+    INSERT appends one entry via :meth:`Index.note_insert`; DELETE compacts
+    row positions, so it rebuilds; schema changes invalidate the cached
+    column positions and fall back to a rebuild — which re-raises the same
+    ``CatalogError`` the rebuild-per-mutation path raised when an indexed
+    column disappeared.
+    """
+
+    def _index(self, session, table="t", name="idx"):
+        return session.database.get_table(table).indexes[name]
+
+    def test_insert_appends_entries_without_rebuild(self, session):
+        session.execute("CREATE TABLE t(a INTEGER, b VARCHAR(10))")
+        session.execute("CREATE INDEX idx ON t(a)")
+        index = self._index(session)
+        rebuilds = []
+        original_rebuild = index.rebuild
+        index.rebuild = lambda table: (rebuilds.append(1), original_rebuild(table))
+        session.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        session.execute("INSERT INTO t VALUES (1, 'z')")
+        assert not rebuilds, "INSERT must maintain the index incrementally"
+        assert index.entries == {(1,): [0, 2], (2,): [1]}
+
+    def test_incremental_entries_match_fresh_rebuild(self, session):
+        from repro.engine.storage import Index
+
+        session.execute("CREATE TABLE t(a INTEGER, b VARCHAR(10))")
+        session.execute("CREATE INDEX idx ON t(a, b)")
+        session.execute("INSERT INTO t VALUES (1, 'x'), (NULL, 'y'), (1, 'x')")
+        session.execute("INSERT INTO t VALUES (2, NULL)")
+        table = session.database.get_table("t")
+        fresh = Index(name="fresh", table="t", columns=["a", "b"])
+        fresh.rebuild(table)
+        assert self._index(session).entries == fresh.entries
+
+    def test_delete_compacts_row_positions(self, session):
+        session.execute("CREATE TABLE t(a INTEGER)")
+        session.execute("CREATE INDEX idx ON t(a)")
+        session.execute("INSERT INTO t VALUES (1), (2), (3)")
+        session.execute("DELETE FROM t WHERE a = 2")
+        # row 3 shifted from position 2 to 1: the rebuild must remap it
+        assert self._index(session).entries == {(1,): [0], (3,): [1]}
+        session.execute("INSERT INTO t VALUES (2)")
+        assert self._index(session).entries == {(1,): [0], (3,): [1], (2,): [2]}
+
+    def test_schema_change_invalidates_cached_positions(self, session):
+        session.execute("CREATE TABLE t(a INTEGER, b INTEGER)")
+        session.execute("CREATE INDEX idx ON t(b)")
+        session.execute("INSERT INTO t VALUES (1, 10)")
+        session.execute("ALTER TABLE t ADD COLUMN c INTEGER")
+        session.execute("INSERT INTO t VALUES (2, 20, 200)")
+        assert self._index(session).entries == {(10,): [0], (20,): [1]}
+
+    def test_rename_of_indexed_column_raises_on_next_insert(self, session):
+        session.execute("CREATE TABLE t(a INTEGER, b INTEGER)")
+        session.execute("CREATE INDEX idx ON t(b)")
+        session.execute("INSERT INTO t VALUES (1, 10)")
+        session.execute("ALTER TABLE t RENAME COLUMN b TO z")
+        with pytest.raises(CatalogError):
+            session.execute("INSERT INTO t VALUES (2, 20)")
+
+    def test_nan_primary_key_replicates_linear_scan(self, session):
+        # two distinct NaN literals compare unequal, so the constraint scan
+        # never matches them: both inserts must succeed (set-membership via
+        # hashing WOULD match, so NaNs stay out of the accelerated key sets)
+        session.execute("CREATE TABLE t(r REAL PRIMARY KEY)")
+        session.execute("INSERT INTO t VALUES (1e400 - 1e400)")
+        session.execute("INSERT INTO t VALUES (1e400 - 1e400)")
+        assert session.execute("SELECT count(*) FROM t").rows == [[2]]
+        with pytest.raises(ConstraintViolationError):
+            session.execute("INSERT INTO t VALUES (2.5), (2.5)")
+
+    def test_unique_column_accelerated_set_still_raises(self, session):
+        session.execute("CREATE TABLE t(a INTEGER, u VARCHAR(10) UNIQUE)")
+        session.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, NULL), (4, NULL)")
+        with pytest.raises(ConstraintViolationError):
+            session.execute("INSERT INTO t VALUES (5, 'x')")
+        assert session.execute("SELECT count(*) FROM t").rows == [[4]]
+
+
 class TestDML:
     def test_insert_with_column_list_reorders(self, session):
         session.execute("CREATE TABLE t(a INTEGER, b INTEGER, c INTEGER)")

@@ -10,6 +10,7 @@ from repro.core.records import QueryRecord, StatementRecord, TestFile, TestSuite
 from repro.core.runner import FileResult, RecordOutcome, RecordResult, SuiteResult
 from repro.engine.session import Session
 from repro.engine.values import compare_values, render_value
+from repro.perf import vectorize
 from repro.sqlparser.statements import split_statements, statement_type
 from repro.sqlparser.tokenizer import tokenize
 from repro.store import canonical_bytes
@@ -266,6 +267,148 @@ def _fuzz_file(rng: random.Random, index: int = 0):
             )
         )
     return test_file, file_result
+
+
+# -- vectorized vs scalar executor -----------------------------------------------
+#
+# Seeded fuzzing of the columnar executor (repro.engine.columnar): random
+# SELECTs — filters, DISTINCT, multi-key ORDER BY, aggregation, LIMIT — over
+# tables seeded with NULL, ±inf, nan, signed zero, 64-bit integers, and
+# unicode text.  Each seed's statement list executes once per engine mode and
+# the captures must agree byte-for-byte under the canonical serialization
+# (floats render as exact hex, so nan vs nan and -0.0 vs 0.0 compare
+# strictly), with identical error types/messages and an identical
+# feature-coverage set.  This is the per-statement complement to the
+# campaign-level vectorized==scalar variants in test_differential.py.
+
+_VEC_WORDS = ("alpha", "bràvo", "charlie", "号delta", "echo🦆", "fox trot", "", "NULL")
+_VEC_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def _vec_fuzz_statements(rng: random.Random) -> list[str]:
+    """One seeded workload: schema setup plus random SELECTs over it."""
+
+    def int_value() -> str:
+        roll = rng.random()
+        if roll < 0.15:
+            return "NULL"
+        if roll < 0.25:
+            return str(rng.randint(-(2**63), 2**63))
+        return str(rng.randint(-5, 15))
+
+    def text_value() -> str:
+        if rng.random() < 0.15:
+            return "NULL"
+        return "'" + rng.choice(_VEC_WORDS) + str(rng.randint(0, 9)) + "'"
+
+    def real_value() -> str:
+        roll = rng.random()
+        if roll < 0.12:
+            return "NULL"
+        if roll < 0.28:
+            # 1e400 overflows to inf; inf - inf materialises a genuine nan
+            return rng.choice(("1e400", "-1e400", "1e400 - 1e400", "-0.0", "5e-324"))
+        return f"{rng.uniform(-50, 50):.3f}"
+
+    def predicate(depth: int = 0) -> str:
+        roll = rng.random() if depth < 2 else rng.random() * 0.85
+        if roll < 0.22:
+            return f"a {rng.choice(_VEC_OPS)} {rng.randint(-5, 15)}"
+        if roll < 0.38:
+            return f"t {rng.choice(_VEC_OPS)} '{rng.choice(_VEC_WORDS)}{rng.randint(0, 9)}'"
+        if roll < 0.50:
+            return f"r {rng.choice(_VEC_OPS)} {rng.choice(('0.0', '1e400', '2.5', '-0.0'))}"
+        if roll < 0.62:
+            negated = "" if rng.random() < 0.7 else "NOT "
+            pattern = rng.choice(("al%", "%o", "%a%", "c_a%", "%🦆%", "fox%"))
+            return f"t {negated}LIKE '{pattern}'"
+        if roll < 0.74:
+            negated = "" if rng.random() < 0.5 else "NOT "
+            return f"{rng.choice('abtr')} IS {negated}NULL"
+        if roll < 0.85:
+            connector = rng.choice((" AND ", " OR "))
+            return f"({predicate(depth + 1)}){connector}({predicate(depth + 1)})"
+        return rng.choice(("a", "b"))  # bare-column truthiness predicate
+
+    def select() -> str:
+        if rng.random() < 0.25:
+            if rng.random() < 0.5:
+                sql = "SELECT b, count(*), sum(a), min(r), max(t) FROM fz GROUP BY b"
+            else:
+                sql = "SELECT count(*), sum(a), min(r), max(r) FROM fz"
+            if rng.random() < 0.5:
+                sql += f" WHERE {predicate()}"
+            if "GROUP BY" in sql:
+                sql += " ORDER BY 1"
+            return sql
+        items = rng.sample(("a", "b", "t", "r", "a + b", "b * 2"), k=rng.randint(1, 3))
+        distinct = "DISTINCT " if rng.random() < 0.3 else ""
+        sql = f"SELECT {distinct}{', '.join(items)} FROM fz"
+        if rng.random() < 0.7:
+            sql += f" WHERE {predicate()}"
+        if rng.random() < 0.6:
+            keys = ", ".join(
+                f"{rng.randint(1, len(items))} {rng.choice(('ASC', 'DESC'))}"
+                for _ in range(rng.randint(1, 2))
+            )
+            sql += f" ORDER BY {keys}"
+        if rng.random() < 0.25:
+            sql += f" LIMIT {rng.randint(0, 6)}"
+        return sql
+
+    statements = ["CREATE TABLE fz(a INTEGER, b INTEGER, t VARCHAR(30), r REAL)"]
+    for _ in range(rng.randint(1, 3)):
+        rows = ", ".join(
+            f"({int_value()}, {int_value()}, {text_value()}, {real_value()})"
+            for _ in range(rng.randint(1, 8))
+        )
+        statements.append(f"INSERT INTO fz VALUES {rows}")
+    for _ in range(rng.randint(6, 16)):
+        statements.append(select())
+        if rng.random() < 0.08:
+            # deliberately broken statements: both modes must raise the same
+            # error type with the same message, at the same position
+            statements.append(
+                rng.choice(
+                    (
+                        "SELECT zz FROM fz",
+                        "SELECT a FROM nowhere",
+                        "SELECT a FROM fz ORDER BY 9",
+                        f"SELECT a FROM fz WHERE zz > {rng.randint(0, 9)}",
+                    )
+                )
+            )
+        if rng.random() < 0.1:
+            statements.append(f"DELETE FROM fz WHERE {predicate()}")
+    return statements
+
+
+def _vec_run_workload(statements: list[str], dialect: str):
+    """Execute the workload on a fresh session, capturing results and errors."""
+    session = Session(dialect, enable_faults=False)
+    captures = []
+    for sql in statements:
+        try:
+            result = session.execute(sql)
+            captures.append([sql, result.columns, result.rows])
+        except Exception as error:  # noqa: BLE001 - error parity is the point
+            captures.append([sql, type(error).__name__, str(error)])
+    return captures, sorted(session.features)
+
+
+class TestVectorizedScalarEquivalence:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_fuzzed_selects_byte_identical_across_engine_modes(self, seed):
+        rng = random.Random(seed)
+        dialect = rng.choice(_FUZZ_HOSTS)
+        statements = _vec_fuzz_statements(rng)
+        with vectorize.vectorize_enabled_scope():
+            columnar_captures, columnar_features = _vec_run_workload(statements, dialect)
+        with vectorize.vectorize_disabled():
+            scalar_captures, scalar_features = _vec_run_workload(statements, dialect)
+        assert canonical_bytes(columnar_captures) == canonical_bytes(scalar_captures)
+        assert columnar_features == scalar_features
 
 
 class TestCodecProperties:
