@@ -16,6 +16,7 @@ changes have a trajectory to regress against (see scripts/bench_compare.py).
 """
 
 import gc
+import itertools
 import os
 import pickle
 import random
@@ -71,6 +72,16 @@ STORE_CAMPAIGN_SEED = 42
 #: pickles of the same cells.
 MIN_MATRIX_WARM_SPEEDUP = float(os.environ.get("BENCH_MIN_MATRIX_WARM_SPEEDUP", "3.0"))
 MIN_CODEC_COMPRESSION = float(os.environ.get("BENCH_MIN_CODEC_COMPRESSION", "5.0"))
+
+#: Workload and floor of the streaming-engine benchmark: the full registry
+#: (all 14 experiments) run through one streaming pass with cell-level
+#: overlap vs the serial batch, cold store both sides.  Cells fan out over
+#: the worker pool's thread lane; sqlite3 and the runner's I/O release the
+#: GIL enough for overlap to pay even on one visible core.
+STREAMING_SCALE = 0.35
+STREAMING_SEED = 42
+STREAMING_WIDTH = 4
+MIN_STREAMING_SPEEDUP = float(os.environ.get("BENCH_MIN_STREAMING_SPEEDUP", "1.3"))
 
 #: Workload and floor of the incremental-campaign benchmark: after editing one
 #: file of an INCREMENTAL_FILES-file suite, the warm incremental rebuild
@@ -526,6 +537,101 @@ def test_pipeline_matrix_warm_full_matrix(benchmark, tmp_path):
     assert compression >= MIN_CODEC_COMPRESSION, (
         f"codec payloads must be at least {MIN_CODEC_COMPRESSION}x smaller than "
         f"whole-object pickles (got {compression:.2f}x)"
+    )
+
+
+def test_pipeline_streaming(benchmark, tmp_path):
+    """One streaming pass vs serial per-experiment batch runs, cold store.
+
+    The batch side is the pre-streaming workflow: every registered experiment
+    runs as its own serial invocation (fresh context and cleared statement
+    caches per experiment — fresh-process semantics), sharing campaign work
+    only through the artifact store, which starts cold.  The streaming side is
+    one :func:`stream_experiments` pass over the same registry on its own cold
+    store: the unioned-needs planner executes each unique matrix cell exactly
+    once in memory and fans the live result out to every subscriber, so the
+    per-experiment store round-trips and matrix re-assembly disappear.  Every
+    round gets a fresh cold store.  The streamed results must be
+    byte-identical to the per-experiment batch results — same
+    accumulate/finalize computation, different schedule — and the single pass
+    must pay at least ``MIN_STREAMING_SPEEDUP``; below-floor measurements earn
+    extra best-of rounds (noise absorption, same policy as the throughput
+    floor above).
+    """
+    from repro.corpus.generate import DEFAULT_FILE_COUNT, build_all_suites
+    from repro.experiments.context import ExperimentContext
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.experiments.stream import stream_experiments
+
+    suites = build_all_suites(seed=STREAMING_SEED, scale=STREAMING_SCALE, store=None)
+    mysql_files = max(3, int(round(DEFAULT_FILE_COUNT["mysql"] * STREAMING_SCALE)))
+    mysql_suite = build_suite("mysql", file_count=mysql_files, seed=STREAMING_SEED, store=None)
+    store_serial = itertools.count()
+
+    def fresh_context(store_dir):
+        context = ExperimentContext(scale=STREAMING_SCALE, seed=STREAMING_SEED, store_dir=str(store_dir))
+        context._suites = dict(suites)
+        context._mysql_suite = mysql_suite
+        return context
+
+    def cold_store_dir():
+        return tmp_path / f"store-{next(store_serial)}"
+
+    def batch_campaign():
+        store_dir = cold_store_dir()
+        results = []
+        for experiment_id in EXPERIMENTS:
+            perf_cache.clear_caches()
+            with fresh_context(store_dir) as context:
+                results.append(run_experiment(experiment_id, context))
+        return results
+
+    def streaming_campaign():
+        perf_cache.clear_caches()
+        with fresh_context(cold_store_dir()) as context:
+            return list(stream_experiments(None, context, max_inflight=STREAMING_WIDTH))
+
+    batch_wall, batch_result = _timed_min_of(2, batch_campaign)
+
+    started = time.perf_counter()
+    streamed_result = benchmark.pedantic(streaming_campaign, rounds=1, iterations=1)
+    first_wall = time.perf_counter() - started
+    second_wall, streamed_result = _timed_min_of(1, streaming_campaign)
+    streaming_wall = min(first_wall, second_wall)
+    for _ in range(3):
+        if streaming_wall and batch_wall / streaming_wall >= MIN_STREAMING_SPEEDUP:
+            break
+        retry_wall, streamed_result = _timed_min_of(1, streaming_campaign)
+        streaming_wall = min(streaming_wall, retry_wall)
+
+    order = {experiment_id: index for index, experiment_id in enumerate(EXPERIMENTS)}
+    streamed_ordered = sorted(streamed_result, key=lambda result: order[result.experiment_id])
+    assert canonical_bytes(streamed_ordered) == canonical_bytes(batch_result), (
+        "streamed results must be byte-identical to the serial batch (only yield order may differ)"
+    )
+
+    speedup = batch_wall / streaming_wall if streaming_wall else float("inf")
+    update_pipeline_report(
+        {
+            "pipeline_streaming": {
+                "experiments": len(batch_result),
+                "scale": STREAMING_SCALE,
+                "max_inflight": STREAMING_WIDTH,
+                "batch_mode": "serial per-experiment runs, cold shared store",
+                "batch_wall_s": round(batch_wall, 4),
+                "streaming_wall_s": round(streaming_wall, 4),
+                "speedup_streaming_vs_batch": round(speedup, 3),
+                "min_speedup_required": MIN_STREAMING_SPEEDUP,
+            }
+        }
+    )
+    print(
+        f"\nstreaming engine ({len(batch_result)} experiments): per-experiment batch {batch_wall:.3f}s, "
+        f"single pass width={STREAMING_WIDTH} {streaming_wall:.3f}s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= MIN_STREAMING_SPEEDUP, (
+        f"one streaming pass must be at least {MIN_STREAMING_SPEEDUP}x faster than "
+        f"serial per-experiment batch runs on a cold store (got {speedup:.2f}x)"
     )
 
 

@@ -576,6 +576,7 @@ class WorkerPool:
         # task function itself, so only the dispatch overhead disappears.
         self._inline = self.flavour == "thread" and (os.cpu_count() or 1) <= 1
         self._inline_adapters: AdapterPool | None = None
+        self._local_pool: ThreadPoolExecutor | None = None
 
     def _ensure(self):
         if self._pool is None:
@@ -619,7 +620,30 @@ class WorkerPool:
         futures = [pool.submit(fn, *task) for task in tasks]
         return [future.result() for future in futures]
 
+    def local_executor(self) -> ThreadPoolExecutor:
+        """The pool's in-process thread lane (lazily created, pool-lifetime).
+
+        A side lane for tasks that must stay in this process no matter the
+        pool's flavour — closures over live adapters, stores, or contexts that
+        cannot travel by pickle.  The streaming experiment engine fans matrix
+        cells out on it (cells hold live pools and stores); width matches the
+        pool's ``workers``.  :meth:`shutdown` tears it down with the pool.
+        """
+        if self._local_pool is None:
+            self._local_pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._local_pool
+
+    def submit_local(self, fn, *args):
+        """Submit ``fn(*args)`` to the in-process thread lane (a Future)."""
+        return self.local_executor().submit(fn, *args)
+
     def shutdown(self) -> None:
+        if self._local_pool is not None:
+            self._local_pool.shutdown()
+            self._local_pool = None
+            # the lane's threads parked adapters per-thread like any worker;
+            # they are gone now, so reclaim those adapters too
+            close_dead_worker_adapter_pools()
         if self._inline_adapters is not None:
             try:
                 self._inline_adapters.close()

@@ -1,10 +1,22 @@
-"""Legacy import shim — the MySQL parser now lives in :mod:`repro.formats.mysql`.
+"""Deprecated import shim — the MySQL parser now lives in :mod:`repro.formats.mysql`.
 
 Kept so seed-era imports keep working; new code should go through the format
-registry (:func:`repro.formats.get_format`).
+registry (:func:`repro.formats.get_format`).  Importing it warns with
+:class:`DeprecationWarning`; the shim is scheduled for removal two release
+cycles after the streaming-engine release (see docs/ARCHITECTURE.md,
+"Deprecations").
 """
 
 from __future__ import annotations
+
+import warnings
+
+warnings.warn(
+    "repro.core.parser_mysql is deprecated; import from repro.formats.mysql "
+    "or use repro.formats.get_format('mysql')",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.formats.mysql import (
     _ERROR_DIRECTIVE,

@@ -1,10 +1,22 @@
-"""Legacy import shim — the PostgreSQL parser now lives in :mod:`repro.formats.postgres`.
+"""Deprecated import shim — the PostgreSQL parser now lives in :mod:`repro.formats.postgres`.
 
 Kept so seed-era imports keep working; new code should go through the format
-registry (:func:`repro.formats.get_format`).
+registry (:func:`repro.formats.get_format`).  Importing it warns with
+:class:`DeprecationWarning`; the shim is scheduled for removal two release
+cycles after the streaming-engine release (see docs/ARCHITECTURE.md,
+"Deprecations").
 """
 
 from __future__ import annotations
+
+import warnings
+
+warnings.warn(
+    "repro.core.parser_postgres is deprecated; import from repro.formats.postgres "
+    "or use repro.formats.get_format('postgres')",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.formats.postgres import (
     _ERROR_LINE,

@@ -1,11 +1,23 @@
-"""Legacy import shim — the SLT parser now lives in :mod:`repro.formats.slt`.
+"""Deprecated import shim — the SLT parser now lives in :mod:`repro.formats.slt`.
 
 Kept so seed-era imports (``from repro.core.parser_slt import parse_slt_text``)
 keep working; new code should go through the format registry
 (:func:`repro.formats.get_format` / :func:`repro.formats.parse_test_text`).
+Importing it warns with :class:`DeprecationWarning`; the shim is scheduled for
+removal two release cycles after the streaming-engine release (see
+docs/ARCHITECTURE.md, "Deprecations").
 """
 
 from __future__ import annotations
+
+import warnings
+
+warnings.warn(
+    "repro.core.parser_slt is deprecated; import from repro.formats.slt "
+    "or use repro.formats.get_format('slt')",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.core.records import Record
 from repro.formats.base import SLT_CONTROL_COMMANDS as _CONTROL_COMMANDS

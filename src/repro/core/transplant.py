@@ -491,6 +491,10 @@ class TransplantMatrix:
         """True when no cell was degraded to a partial result."""
         return not any(entry.infra_failures for entry in self.entries.values())
 
+    def is_full_grid(self, suites, hosts) -> bool:
+        """True when every (suite, host) pair of the given grid has a cell."""
+        return all((suite, host) in self.entries for suite in suites for host in hosts)
+
 
 def run_matrix(
     suites: dict[str, TestSuite],

@@ -154,6 +154,19 @@ class WatchdogTimeout(RunnerError):
         self.deadline = deadline
 
 
+class UnknownExperimentError(ReproError, KeyError):
+    """No experiment is registered under the requested id.
+
+    Subclasses :class:`KeyError` because the pre-registry lookup raised one —
+    callers catching ``KeyError`` keep working.  The message carries near-miss
+    suggestions plus the full list of known ids.
+    """
+
+    def __str__(self) -> str:
+        # KeyError's repr-quoting would mangle the multi-part message
+        return str(self.args[0]) if self.args else ""
+
+
 class AdapterQuarantinedError(RunnerError):
     """The requested adapter configuration is quarantined by the circuit
     breaker (:class:`repro.adapters.pool.CircuitBreaker`) after repeated

@@ -11,8 +11,10 @@ import argparse
 import json
 import sys
 
+from repro.errors import UnknownExperimentError
 from repro.experiments.context import ExperimentContext
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, experiment_entries, get_experiment_entry
+from repro.experiments.stream import run_batch, stream_experiments
 
 
 def _print_formats() -> None:
@@ -30,6 +32,20 @@ def _print_adapters() -> None:
     for entry in adapter_entries():
         aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
         print(f"{entry.name:12s} {entry.description}{aliases}")
+
+
+def _print_experiments() -> None:
+    for entry in experiment_entries():
+        needs = entry.needs
+        parts = []
+        if needs.suites:
+            parts.append(f"suites: {', '.join(needs.suites)}")
+        if needs.cells:
+            parts.append(f"{len(needs.cells)} matrix cell(s)")
+        needs_text = "; ".join(parts) if parts else "pure analysis"
+        description = f" — {entry.description}" if entry.description else ""
+        print(f"{entry.id:10s} {entry.title}{description}")
+        print(f"{'':10s}   needs: {needs_text}")
 
 
 def _format_bytes(count: int) -> str:
@@ -135,7 +151,18 @@ def main(argv: list[str] | None = None) -> int:
         help="assemble store-backed campaigns from per-file artifacts, executing only changed files "
         "(--no-incremental re-executes whole suites on any suite-level store miss)",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream results as they complete: the single campaign pass prints each experiment "
+        "the moment its last matrix cell lands (batch mode prints in registry order)",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--list-experiments",
+        action="store_true",
+        help="list registered experiments with descriptions and declared matrix needs, and exit",
+    )
     parser.add_argument("--list-formats", action="store_true", help="list registered test-suite formats and exit")
     parser.add_argument("--list-adapters", action="store_true", help="list registered DBMS adapters and exit")
     arguments = parser.parse_args(argv)
@@ -143,6 +170,9 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.list:
         for experiment_id, (title, _runner) in EXPERIMENTS.items():
             print(f"{experiment_id:10s} {title}")
+        return 0
+    if arguments.list_experiments:
+        _print_experiments()
         return 0
     if arguments.list_formats:
         _print_formats()
@@ -154,7 +184,16 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.timeout is not None and arguments.timeout <= 0:
         parser.error("--timeout must be positive")
 
-    selected = arguments.experiments or list(EXPERIMENTS)
+    try:
+        for experiment_id in arguments.experiments:
+            get_experiment_entry(experiment_id)
+    except UnknownExperimentError as error:
+        # exit code 1 (usage error), NOT parser.error's 2 — 2 means "campaign
+        # finished but degraded" here
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    selected = arguments.experiments or None
     with ExperimentContext(
         scale=arguments.scale,
         seed=arguments.seed,
@@ -164,10 +203,17 @@ def main(argv: list[str] | None = None) -> int:
         incremental=arguments.incremental,
         timeout_seconds=arguments.timeout,
     ) as context:
-        for experiment_id in selected:
-            result = run_experiment(experiment_id, context)
-            print(result.text)
-            print()
+        if arguments.stream:
+            # one streaming pass: results print the moment their last matrix
+            # cell lands (cells overlap when --workers > 1)
+            for result in stream_experiments(selected, context):
+                print(result.text)
+                print()
+        else:
+            # batch: the same single pass, printed in registry order
+            for result in run_batch(selected, context):
+                print(result.text)
+                print()
         infra_failures = context.infra_failures()
     if infra_failures:
         # exit code 2: the campaign *finished* but some cells degraded to

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.report import format_percentage, format_table
 from repro.core.transplant import DONOR_OF_SUITE, run_transplant
+from repro.experiments.base import Experiment, ExperimentNeeds, donor_cells, matrix_cells, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "ablations"
@@ -22,10 +23,34 @@ _SUITES = ("slt", "postgres", "duckdb")
 _HOSTS = ("sqlite", "postgres", "duckdb", "mysql")
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(
+        suites=_SUITES,
+        cells=donor_cells("duckdb")
+        + matrix_cells(_SUITES, _HOSTS, include_donor=False)
+        + matrix_cells(_SUITES, _HOSTS, translate=True, include_donor=False),
+    ),
+    description="float-tolerance and dialect-translation ablations",
+)
+class AblationsExperiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(experiment: AblationsExperiment) -> ExperimentResult:
+    context = experiment.context
     # -- float tolerance (DuckDB donor run, exact vs 1%) ---------------------------
     duckdb_suite = context.suites["duckdb"]
-    exact = context.donor_result("duckdb").result
+    exact = experiment.cell("duckdb", "duckdb").result
     tolerant = run_transplant(duckdb_suite, "duckdb", float_tolerance=0.01).result
     float_rows = [
         ["exact comparison (SQuaLity)", exact.failed_cases, format_percentage(exact.success_rate)],
@@ -40,8 +65,8 @@ def run(context: ExperimentContext) -> ExperimentResult:
         for host in _HOSTS:
             if host == DONOR_OF_SUITE[suite]:
                 continue
-            baseline = context.matrix.success_rate(suite, host)
-            translated = context.translated_matrix.success_rate(suite, host)
+            baseline = experiment.cell(suite, host).success_rate
+            translated = experiment.cell(suite, host, translate=True).success_rate
             translation_rows.append(
                 [f"{suite} on {host}", format_percentage(baseline), format_percentage(translated), format_percentage(translated - baseline)]
             )

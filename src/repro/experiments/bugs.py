@@ -11,10 +11,12 @@ documented bug (see DESIGN.md, substitutions).
 
 from __future__ import annotations
 
+from repro.adapters.faults import FaultSummary
 from repro.adapters.minidb_adapter import MiniDBAdapter
 from repro.adapters.base import ExecutionStatus
 from repro.core.report import format_table
 from repro.core.reducer import make_crash_predicate, reduce_statements
+from repro.experiments.base import Experiment, ExperimentNeeds, matrix_cells, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "bugs"
@@ -24,8 +26,37 @@ TITLE = "RQ4 findings: crashes and hangs discovered by reusing test suites"
 _SERIES_OVERFLOW = "SELECT count(*) FROM generate_series(9223372036854775807, 9223372036854775807)"
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(
+        suites=("slt", "postgres", "duckdb"),
+        cells=matrix_cells(("slt", "postgres", "duckdb")),
+    ),
+    description="crash/hang signatures plus a delta-debugged reproducer",
+)
+class BugsExperiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
-    summary = context.matrix.fault_summary()
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(experiment: BugsExperiment) -> ExperimentResult:
+    # fault summary over the declared cells in declaration order — the same
+    # suite-outer/host-inner order run_matrix inserts, so the report matches
+    # the batch path's matrix.fault_summary() byte for byte
+    summary = FaultSummary()
+    for _key, transplant in experiment.iter_cells():
+        for report in transplant.crashes:
+            summary.add(report)
+        for report in transplant.hangs:
+            summary.add(report)
     crash_messages = sorted({report.message for report in summary.crashes})
     hang_messages = sorted({report.message for report in summary.hangs})
 

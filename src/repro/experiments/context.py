@@ -104,6 +104,10 @@ class ExperimentContext:
         #: leased adapters instead of rebuilding them per transplant
         self.adapter_pool = AdapterPool()
         self._worker_pool = None
+        #: cells resolved by streaming passes (:mod:`repro.experiments.stream`)
+        #: that are not part of a full adopted matrix; keyed by
+        #: :class:`~repro.experiments.base.CellKey`
+        self._stream_cells: dict = {}
 
     @property
     def worker_pool(self):
@@ -224,14 +228,71 @@ class ExperimentContext:
 
         return self.matrix.get(suite, DONOR_OF_SUITE[suite])
 
+    def suite_names(self) -> tuple[str, ...]:
+        """The executable suite names in corpus (and campaign) order."""
+        return tuple(self.suites)
+
+    def built_suite_names(self) -> tuple[str, ...]:
+        """Suite names if the corpora are already built, else () — never builds."""
+        return tuple(self._suites) if self._suites is not None else ()
+
+    # -- streaming-pass cell cache ---------------------------------------------------
+
+    def peek_cell(self, key):
+        """The already-computed result for one matrix cell, or None.
+
+        Consulted by the streaming engine before executing a cell: earlier
+        streaming passes and already-computed full matrices both count, so a
+        warm context resolves cells without re-running anything.  Never
+        triggers a campaign.
+        """
+        result = self._stream_cells.get(key)
+        if result is not None:
+            return result
+        matrix = self._translated_matrix if key.translate else self._matrix
+        if matrix is not None:
+            return matrix.entries.get((key.suite, key.host))
+        return None
+
+    def note_stream_cell(self, key, result) -> None:
+        """Record one cell executed by a streaming pass (see :meth:`peek_cell`)."""
+        self._stream_cells[key] = result
+
+    def adopt_matrix(self, matrix: TransplantMatrix, translated: bool = False) -> None:
+        """Install a full-grid matrix assembled by a streaming pass.
+
+        Later reads of :attr:`matrix` / :attr:`translated_matrix` (and
+        :meth:`donor_result`) then resolve from the pass instead of launching
+        a fresh campaign.  A matrix the context already computed wins — the
+        pass drew its cells from it anyway.
+        """
+        names = self.built_suite_names()
+        if not names or not matrix.is_full_grid(names, self.hosts):
+            return
+        if translated:
+            if self._translated_matrix is None:
+                self._translated_matrix = matrix
+        elif self._matrix is None:
+            self._matrix = matrix
+
     def infra_failures(self) -> list:
         """Unrecovered infrastructure faults across every computed matrix.
 
-        Only matrices that have already been computed are consulted — asking
-        for failures must not trigger a campaign.
+        Streaming passes contribute the cells they executed; fault reports
+        shared between a matrix and the stream cache (adopted matrices,
+        donor-cell reuse) are counted once.  Only work that already happened
+        is consulted — asking for failures must not trigger a campaign.
         """
         failures: list = []
+        seen: set[int] = set()
         for matrix in (self._matrix, self._translated_matrix):
             if matrix is not None:
-                failures.extend(matrix.infra_failures())
+                for failure in matrix.infra_failures():
+                    seen.add(id(failure))
+                    failures.append(failure)
+        for result in self._stream_cells.values():
+            for failure in result.infra_failures:
+                if id(failure) not in seen:
+                    seen.add(id(failure))
+                    failures.append(failure)
         return failures

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.filesize import file_size_distribution, log_histogram, size_summary
 from repro.core.report import format_table
+from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "figure1"
@@ -13,7 +14,25 @@ TITLE = "Figure 1: lines of code per test file (per suite)"
 _SUITE_ORDER = ("slt", "mysql", "postgres", "duckdb")
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=("slt", "postgres", "duckdb", "mysql")),
+    description="test-file size distribution per suite (log histogram)",
+)
+class Figure1Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self.context)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(context: ExperimentContext) -> ExperimentResult:
     suites = context.all_suites_with_mysql()
     rows = []
     data: dict = {}

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.statements import FIGURE2_STATEMENT_TYPES, statement_type_distribution
 from repro.core.report import format_percentage, format_table
+from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "figure2"
@@ -12,7 +13,25 @@ TITLE = "Figure 2: distribution of SQL statement types per test suite"
 _SUITES = ("slt", "postgres", "duckdb")
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=_SUITES),
+    description="SQL statement-type distribution per executable suite",
+)
+class Figure2Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self.context)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(context: ExperimentContext) -> ExperimentResult:
     distributions = {name: statement_type_distribution(context.suites[name]) for name in _SUITES}
     rows = []
     for stype in FIGURE2_STATEMENT_TYPES:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.predicates import join_usage, predicate_distribution
 from repro.core.report import format_percentage, format_table
+from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 from repro.sqlparser.analyzer import PREDICATE_BUCKETS
 
@@ -13,7 +14,25 @@ TITLE = "Figure 3: distribution of WHERE-predicate token counts"
 _SUITES = ("slt", "postgres", "duckdb")
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=_SUITES),
+    description="WHERE-predicate token counts and join usage per suite",
+)
+class Figure3Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self.context)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(context: ExperimentContext) -> ExperimentResult:
     distributions = {name: predicate_distribution(context.suites[name]) for name in _SUITES}
     joins = {name: join_usage(context.suites[name]) for name in _SUITES}
     rows = []

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.report import format_heatmap, format_table, format_percentage
 from repro.core.transplant import DONOR_OF_SUITE
 from repro.corpus.profiles import FIGURE4_SUCCESS_RATES
+from repro.experiments.base import Experiment, ExperimentNeeds, matrix_cells, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "figure4"
@@ -14,13 +15,31 @@ _SUITES = ("slt", "postgres", "duckdb")
 _HOSTS = ("sqlite", "postgres", "duckdb", "mysql")
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=_SUITES, cells=matrix_cells(_SUITES, _HOSTS)),
+    description="donor-normalised cross-execution success-rate heatmap",
+)
+class Figure4Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(experiment: Figure4Experiment) -> ExperimentResult:
     raw: dict[tuple[str, str], float] = {}
     normalized: dict[tuple[str, str], float] = {}
     for suite in _SUITES:
-        donor_rate = context.matrix.success_rate(suite, DONOR_OF_SUITE[suite]) or 1.0
+        donor_rate = experiment.cell(suite, DONOR_OF_SUITE[suite]).success_rate or 1.0
         for host in _HOSTS:
-            rate = context.matrix.success_rate(suite, host)
+            rate = experiment.cell(suite, host).success_rate
             raw[(suite, host)] = rate
             # The paper's heatmap anchors every donor at 100%; normalising by
             # the donor rate removes donor-environment failures (RQ3) from the

@@ -1,9 +1,25 @@
-"""Registry of experiment drivers and the command-line entry point."""
+"""Canonical experiment registry: driver imports, run order, and compat API.
+
+Importing this module registers every built-in driver with
+:mod:`repro.experiments.base` (the way :mod:`repro.formats.registry` imports
+the format parsers) and pins the canonical run order — the order the paper
+presents its tables and figures, which ``run_all`` and the CLI preserve.
+
+``run_experiment`` and ``run_all`` are thin wrappers over the single-pass
+streaming engine (:func:`repro.experiments.stream.run_batch`): even the batch
+path plans the union of every selected experiment's declared needs and
+executes each unique matrix cell exactly once.  The legacy ``EXPERIMENTS``
+mapping of ``id -> (title, run callable)`` is kept for callers that still
+iterate it.
+"""
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
+# importing the driver modules is what registers them; the tuple below pins
+# the canonical order even if a driver was imported directly beforehand
 from repro.experiments import (
     ablations,
     bugs,
@@ -20,24 +36,88 @@ from repro.experiments import (
     table7,
     table8,
 )
+from repro.experiments import base as _base
+from repro.experiments.base import (
+    available_experiments,
+    experiment_entries,
+    get_experiment_entry,
+)
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
-#: experiment id -> (title, run callable)
-EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], ExperimentResult]]] = {
-    module.EXPERIMENT_ID: (module.TITLE, module.run)
-    for module in (table1, figure1, table2, figure2, table3, figure3, table4, table5, figure4, table6, table7, table8, bugs, ablations)
-}
+_CANONICAL_MODULES = (
+    table1,
+    figure1,
+    table2,
+    figure2,
+    table3,
+    figure3,
+    table4,
+    table5,
+    figure4,
+    table6,
+    table7,
+    table8,
+    bugs,
+    ablations,
+)
+
+
+def _pin_canonical_order() -> None:
+    """Reorder the registry: canonical built-ins first, later registrations after."""
+    ordered = {
+        module.EXPERIMENT_ID: _base._REGISTRY[module.EXPERIMENT_ID]
+        for module in _CANONICAL_MODULES
+        if module.EXPERIMENT_ID in _base._REGISTRY
+    }
+    for experiment_id, entry in _base._REGISTRY.items():
+        ordered.setdefault(experiment_id, entry)
+    _base._REGISTRY.clear()
+    _base._REGISTRY.update(ordered)
+
+
+_pin_canonical_order()
 
 
 def run_experiment(experiment_id: str, context: ExperimentContext | None = None) -> ExperimentResult:
-    """Run one experiment by id (``"table4"``, ``"figure2"``, ``"bugs"``, ...)."""
-    if experiment_id not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
-    _title, runner = EXPERIMENTS[experiment_id]
-    return runner(context or ExperimentContext())
+    """Run one experiment by id (``"table4"``, ``"figure2"``, ``"bugs"``, ...).
+
+    Unknown ids raise :class:`~repro.errors.UnknownExperimentError` (a
+    ``KeyError`` subclass, so legacy ``except KeyError`` callers still work)
+    with near-miss suggestions.
+    """
+    from repro.experiments.stream import run_batch
+
+    return run_batch([experiment_id], context)[0]
 
 
 def run_all(context: ExperimentContext | None = None) -> list[ExperimentResult]:
-    """Run every registered experiment, sharing one context."""
-    shared = context or ExperimentContext()
-    return [run_experiment(experiment_id, shared) for experiment_id in EXPERIMENTS]
+    """Run every registered experiment through one shared streaming pass.
+
+    Results come back in registry order and are byte-identical to running the
+    experiments one by one; the single pass executes each unique matrix cell
+    at most once, so shared campaign work is never repeated.
+    """
+    from repro.experiments.stream import run_batch
+
+    return run_batch(None, context)
+
+
+def _experiments_compat() -> dict[str, tuple[str, Callable[..., ExperimentResult]]]:
+    return {
+        entry.id: (entry.title, functools.partial(run_experiment, entry.id))
+        for entry in experiment_entries()
+    }
+
+
+#: legacy mapping of experiment id -> (title, run callable); prefer
+#: :func:`repro.experiments.base.experiment_entries` for new code
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = _experiments_compat()
+
+__all__ = [
+    "EXPERIMENTS",
+    "available_experiments",
+    "experiment_entries",
+    "get_experiment_entry",
+    "run_all",
+    "run_experiment",
+]

@@ -10,13 +10,32 @@ from __future__ import annotations
 
 from repro.core.report import format_table
 from repro.corpus.profiles import TABLE1_DBMS_INFO
+from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "table1"
 TITLE = "Table 1: DBMS rankings and their test suites information"
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=("slt", "postgres", "duckdb", "mysql")),
+    description="paper metadata vs generated corpus sizes per studied DBMS",
+)
+class Table1Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self.context)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(context: ExperimentContext) -> ExperimentResult:
     suites = context.all_suites_with_mysql()
     suite_of_dbms = {"sqlite": "slt", "postgres": "postgres", "duckdb": "duckdb", "mysql": "mysql"}
     rows = []

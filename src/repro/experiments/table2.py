@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.features import count_runner_commands, feature_support_row
 from repro.core.report import format_table
+from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "table2"
@@ -14,7 +15,25 @@ _SUITES = ("sqlite", "mysql", "postgres", "duckdb")
 _SUITE_TO_CORPUS = {"sqlite": "slt", "mysql": "mysql", "postgres": "postgres", "duckdb": "duckdb"}
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=("slt", "postgres", "duckdb", "mysql")),
+    description="documented vs measured non-SQL runner commands per suite",
+)
+class Table2Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self.context)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(context: ExperimentContext) -> ExperimentResult:
     suites = context.all_suites_with_mysql()
     rows = []
     for feature in _FEATURES:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.statements import standard_compliance
 from repro.core.report import format_percentage, format_table
 from repro.corpus.profiles import TABLE3_STANDARD_COMPLIANCE
+from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "table3"
@@ -13,7 +14,25 @@ TITLE = "Table 3: share of standard-compliant SQL statements"
 _SUITES = {"slt": "sqlite", "postgres": "postgres", "duckdb": "duckdb"}
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=("slt", "postgres", "duckdb")),
+    description="standard-compliance share of each suite's SQL statements",
+)
+class Table3Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self.context)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(context: ExperimentContext) -> ExperimentResult:
     rows = []
     data: dict = {}
     for suite_name, paper_key in _SUITES.items():

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.records import ControlRecord
 from repro.core.report import format_table
 from repro.corpus.profiles import TABLE4_DONOR_EXECUTION
+from repro.experiments.base import Experiment, ExperimentNeeds, donor_cells, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "table4"
@@ -13,11 +14,31 @@ TITLE = "Table 4: running donor test suites against the donor"
 _SUITES = {"slt": "sqlite", "postgres": "postgres", "duckdb": "duckdb"}
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=("slt", "postgres", "duckdb"), cells=donor_cells("slt", "postgres", "duckdb")),
+    description="donor-on-donor execution counts (RQ3) vs the paper",
+)
+class Table4Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(experiment: Table4Experiment) -> ExperimentResult:
+    context = experiment.context
     rows = []
     data: dict = {}
     for suite_name, paper_key in _SUITES.items():
-        transplant = context.donor_result(suite_name)
+        # the paper keys double as the donor host names
+        transplant = experiment.cell(suite_name, paper_key)
         result = transplant.result
         suite = context.suites[suite_name]
         # PostgreSQL "omitted" cases are psql meta-commands the runner records

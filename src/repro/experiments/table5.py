@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.classification import DependencyCategory, category_histogram, classify_failures, sample_failures
 from repro.core.report import format_table
 from repro.corpus.profiles import TABLE5_DEPENDENCY_SAMPLE
+from repro.experiments.base import Experiment, ExperimentNeeds, donor_cells, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "table5"
@@ -23,10 +24,30 @@ _ROW_ORDER = (
 )
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=("slt", "postgres", "duckdb"), cells=donor_cells("slt", "duckdb", "postgres")),
+    description="dependency classification of sampled donor-on-donor failures",
+)
+class Table5Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(experiment: Table5Experiment) -> ExperimentResult:
+    context = experiment.context
     histograms: dict[str, dict] = {}
     for suite_name, paper_key in _SUITES.items():
-        failures = context.donor_result(suite_name).result.all_failures()
+        # the paper keys double as the donor host names
+        failures = experiment.cell(suite_name, paper_key).result.all_failures()
         sampled = sample_failures(failures, sample_size=100, seed=context.seed)
         histogram = category_histogram(classify_failures(sampled, scheme="dependency"))
         histograms[suite_name] = {category.value: histogram.get(category, 0) for _, category in _ROW_ORDER}

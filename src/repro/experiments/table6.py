@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.classification import IncompatibilityCategory, category_histogram, classify_failures, sample_failures
 from repro.core.report import format_table
 from repro.core.runner import RecordOutcome
+from repro.experiments.base import CellKey, Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "table6"
@@ -34,11 +35,33 @@ _CATEGORY_ORDER = (
 )
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(
+        suites=("slt", "postgres", "duckdb"),
+        cells=tuple(CellKey(suite, host) for suite, host in _PAIRS),
+    ),
+    description="failure-reason breakdown for every off-diagonal matrix cell",
+)
+class Table6Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(experiment: Table6Experiment) -> ExperimentResult:
+    context = experiment.context
     columns = []
     data: dict = {}
     for suite, host in _PAIRS:
-        transplant = context.matrix.get(suite, host)
+        transplant = experiment.cell(suite, host)
         failures = transplant.result.all_failures()
         # SLT failures are analysed exhaustively; the other suites are sampled
         # (100 failures per pair), following the paper's methodology.

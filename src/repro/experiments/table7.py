@@ -7,6 +7,7 @@ from collections import Counter
 from repro.core.classification import DifficultyCategory, classify_failures
 from repro.core.report import format_percentage, format_table
 from repro.corpus.profiles import TABLE7_DIFFICULTY
+from repro.experiments.base import Experiment, ExperimentNeeds, matrix_cells, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "table7"
@@ -17,7 +18,29 @@ _HOSTS = ("sqlite", "postgres", "duckdb", "mysql")
 _CATEGORIES = (DifficultyCategory.DIALECT_FEATURE, DifficultyCategory.SYNTAX, DifficultyCategory.SEMANTIC)
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(
+        suites=("slt", "postgres", "duckdb"),
+        cells=matrix_cells(("slt", "duckdb", "postgres"), _HOSTS, include_donor=False),
+    ),
+    description="dialect/syntax/semantics difficulty shares across hosts",
+)
+class Table7Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(experiment: Table7Experiment) -> ExperimentResult:
+    context = experiment.context
     shares: dict[str, dict[str, float]] = {}
     for suite_name, paper_key in _SUITES.items():
         counter: Counter = Counter()
@@ -25,7 +48,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
         for host in _HOSTS:
             if host == donor:
                 continue
-            failures = context.matrix.get(suite_name, host).result.all_failures()
+            failures = experiment.cell(suite_name, host).result.all_failures()
             for classified in classify_failures(failures, scheme="difficulty"):
                 counter[classified.category] += 1
         total = sum(counter.values()) or 1

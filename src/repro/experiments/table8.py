@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.coverage import combine_reports, measure_coverage
 from repro.core.report import format_percentage, format_table
 from repro.corpus.profiles import TABLE8_COVERAGE
+from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
 from repro.dialects.translator import translate
 from repro.dialects import ALL_DIALECTS
@@ -21,7 +22,25 @@ def _statement_lists(context: ExperimentContext, suite_name: str) -> list[list[s
     return [test_file.statements() for test_file in suite.files]
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    TITLE,
+    needs=ExperimentNeeds(suites=("slt", "postgres", "duckdb")),
+    description="engine feature coverage of each original suite vs the union",
+)
+class Table8Experiment(Experiment):
+    def finalize(self) -> ExperimentResult:
+        return _build(self.context)
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
+    """Back-compat module entry point (see :func:`repro.experiments.registry.run_experiment`)."""
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(EXPERIMENT_ID, context)
+
+
+def _build(context: ExperimentContext) -> ExperimentResult:
     rows = []
     data: dict = {}
     for engine, original_suite in _ORIGINAL_SUITE.items():

@@ -364,8 +364,8 @@ class TestCliExitCodes:
                 return failures
 
         monkeypatch.setattr(cli, "ExperimentContext", _FakeContext)
-        monkeypatch.setattr(cli, "EXPERIMENTS", {"table4": ("Table 4", None)})
-        monkeypatch.setattr(cli, "run_experiment", lambda experiment_id, context: SimpleNamespace(text="ok"))
+        monkeypatch.setattr(cli, "run_batch", lambda selected, context: [SimpleNamespace(text="ok")])
+        monkeypatch.setattr(cli, "stream_experiments", lambda selected, context: iter([SimpleNamespace(text="ok")]))
         return cli, created
 
     def test_clean_campaign_exits_zero(self, monkeypatch, capsys):

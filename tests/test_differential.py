@@ -140,3 +140,83 @@ class TestCampaignVariants:
         lookups = store.stats.by_namespace["file-results"]
         assert lookups == {"hits": 3, "misses": 1}
         assert results["incremental-rebuild"].result.total_cases > 0
+
+
+class TestStreamingCampaignParity:
+    """One streaming pass == the serial batch, byte for byte.
+
+    The streaming engine's core guarantee: because experiments accumulate
+    cells and compute everything in ``finalize``, a pass that overlaps cells
+    (width 4), runs on a sharded context (workers 4), executes scalar
+    (vectorize off), or replays from a warm store must produce results
+    byte-identical to the serial storeless batch — only the *yield order* may
+    differ, so variants are compared in registry order.
+    """
+
+    def _ordered(self, results):
+        from repro.experiments.registry import EXPERIMENTS
+
+        order = {experiment_id: index for index, experiment_id in enumerate(EXPERIMENTS)}
+        return sorted(results, key=lambda result: order[result.experiment_id])
+
+    def test_stream_matches_batch_across_widths_workers_and_stores(self, tmp_path):
+        from repro.experiments import ExperimentContext, stream_experiments
+        from repro.experiments.stream import run_batch
+        from repro.perf import cache as perf_cache
+
+        scale, seed = 0.06, 7
+
+        def context(**kwargs):
+            kwargs.setdefault("use_store", False)
+            return ExperimentContext(scale=scale, seed=seed, **kwargs)
+
+        def batch(**kwargs):
+            return lambda: run_batch(None, context(**kwargs))
+
+        def stream(width, **kwargs):
+            return lambda: self._ordered(stream_experiments(None, context(**kwargs), max_inflight=width))
+
+        def scalar_stream():
+            with vectorize.vectorize_disabled():
+                return self._ordered(stream_experiments(None, context(), max_inflight=1))
+
+        def cacheless_stream():
+            # caching off disables the translated-donor aliasing: the pass
+            # executes those cells for real and must still match
+            perf_cache.set_caching(False)
+            try:
+                return self._ordered(stream_experiments(None, context(), max_inflight=1))
+            finally:
+                perf_cache.set_caching(True)
+
+        store_dir = str(tmp_path / "store")
+        results = assert_equivalent(
+            {
+                "batch-serial-storeless": batch(),
+                "stream-serial-storeless": stream(1),
+                "stream-width-4-storeless": stream(4),
+                "stream-width-4-workers-4": stream(4, workers=4, executor="thread"),
+                "scalar-stream-serial": scalar_stream,
+                "cacheless-stream-serial": cacheless_stream,
+                "batch-store-cold": batch(use_store=True, store_dir=store_dir),
+                "stream-width-4-store-warm": stream(4, use_store=True, store_dir=store_dir),
+            }
+        )
+        assert len(results["batch-serial-storeless"]) == 14
+
+    def test_selected_subset_stream_matches_batch(self):
+        from repro.experiments import ExperimentContext, stream_experiments
+        from repro.experiments.stream import run_batch
+
+        selected = ["figure4", "table6", "bugs"]
+
+        def context():
+            return ExperimentContext(scale=0.06, seed=7, use_store=False)
+
+        results = assert_equivalent(
+            {
+                "batch": lambda: run_batch(selected, context()),
+                "stream-width-3": lambda: self._ordered(stream_experiments(selected, context(), max_inflight=3)),
+            }
+        )
+        assert [result.experiment_id for result in results["batch"]] == selected
