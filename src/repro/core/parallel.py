@@ -48,6 +48,7 @@ are byte-identical; suites that do use random() should run with ``workers=1``.
 
 from __future__ import annotations
 
+import errno
 import logging
 import os
 import pickle
@@ -61,10 +62,19 @@ from typing import Any
 from repro.adapters.base import DBMSAdapter
 from repro.adapters.pool import AdapterPool, pool_key
 from repro.adapters.registry import available_adapters, create_adapter
-from repro.core.records import ControlRecord, TestFile, TestSuite
+from repro.core import shutdown
+from repro.core.records import TestFile, TestSuite
 from repro.core.resilience import InfraFailure, ResiliencePolicy, run_with_deadline
 from repro.errors import AdapterNotFoundError, AdapterQuarantinedError, ShardExecutionError, WatchdogTimeout
-from repro.core.runner import FileResult, RecordOutcome, RecordResult, SuiteResult, TestRunner
+from repro.core.runner import (
+    FileResult,
+    RecordOutcome,
+    SuiteResult,
+    TestRunner,
+    _drained_file_result,
+    _synthesize_file_result,  # re-exported: transplant and tests import it from here
+)
+from repro.killpoints import kill_point
 from repro.perf import cache as perf_cache
 from repro.store import codec as result_codec
 from repro.store.artifacts import ArtifactStore
@@ -74,16 +84,35 @@ logger = logging.getLogger(__name__)
 
 #: exception types that signal worker-pool *infrastructure* failure (rather
 #: than a genuine error inside a shard); they trigger thread degradation.
-#: The classification is sound only because :func:`_run_shard` wraps *every*
-#: error raised inside a shard — including adapter-raised ``OSError``s — as
-#: :class:`ShardExecutionError` before it can reach the pool-dispatch try:
-#: an ``OSError`` seen here therefore always comes from the pool machinery
-#: itself (sandboxed semaphores, broken fork), never from shard work.
 #: ``AdapterNotFoundError`` is re-raised unwrapped by the shard on purpose —
 #: a process worker that cannot rebuild a dynamically-registered adapter is
 #: an infrastructure gap the threaded pool (which shares this process's
-#: registry) recovers from.
-_POOL_INFRA_ERRORS = (BrokenProcessPool, pickle.PicklingError, NotImplementedError, ImportError, OSError, AdapterNotFoundError)
+#: registry) recovers from.  Bare ``OSError`` is deliberately *not* in this
+#: tuple: classifying every OSError as pool breakage would swallow genuine
+#: store/journal I/O bugs from user task code (``map_tasks`` runs arbitrary
+#: callables, not just :func:`_run_shard`'s wrapped work) — only the errnos
+#: pool bootstrap actually produces count (see :func:`_is_pool_infra_error`).
+_POOL_INFRA_ERRORS = (BrokenProcessPool, pickle.PicklingError, NotImplementedError, ImportError, AdapterNotFoundError)
+
+#: ``OSError`` errnos that pool *bootstrap* produces: missing/forbidden
+#: semaphores in sandboxes (ENOSYS, EPERM, EACCES) and fork exhaustion
+#: (EAGAIN, ENOMEM).  An OSError with any other errno — EIO from a failing
+#: disk, ENOSPC from a full one — is a genuine error to report, not pool
+#: infrastructure to silently retry on threads.
+_POOL_INFRA_OS_ERRNOS = frozenset({errno.ENOSYS, errno.EPERM, errno.EACCES, errno.EAGAIN, errno.ENOMEM})
+
+
+def _is_pool_infra_error(error: BaseException) -> bool:
+    """Whether ``error`` is worker-pool infrastructure breakage.
+
+    Infrastructure failures (broken fork, sandboxed semaphores, unpicklable
+    payloads, a killed worker) are recoverable by degrading to the threaded
+    pool; anything else — including most ``OSError``s — is a genuine failure
+    of the submitted work and must propagate to the caller.
+    """
+    if isinstance(error, _POOL_INFRA_ERRORS):
+        return True
+    return isinstance(error, OSError) and error.errno in _POOL_INFRA_OS_ERRNOS
 
 #: per-worker adapter pools, keyed by thread: each worker — a process-pool
 #: worker's main thread, or one thread of the threaded executor — keeps its
@@ -287,27 +316,6 @@ def _stats_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[str, d
     return delta
 
 
-def _synthesize_file_result(host_name: str, test_file: TestFile, outcome: RecordOutcome, reason: str) -> FileResult:
-    """A stand-in :class:`FileResult` for a file infrastructure would not run.
-
-    The first SQL record carries the terminal ``outcome`` (HANG for watchdog
-    cutoffs, SKIP for quarantines and exhausted retries) and the rest are
-    SKIPped, mirroring how the runner reports a mid-file engine crash.  These
-    results are never persisted to the store — on resume the file re-executes.
-    """
-    file_result = FileResult(path=test_file.path, suite=test_file.suite, host=host_name)
-    position = 0
-    for record in test_file.records:
-        if isinstance(record, ControlRecord):
-            continue
-        if position == 0:
-            file_result.results.append(RecordResult(record=record, outcome=outcome, reason=reason, error=reason))
-        else:
-            file_result.results.append(RecordResult(record=record, outcome=RecordOutcome.SKIP, reason=reason))
-        position += 1
-    return file_result
-
-
 def _execute_shard_file(
     spec: RunnerSpec,
     test_file: TestFile,
@@ -487,6 +495,14 @@ def _execute_shard(
     try:
         results: list[tuple[int, FileResult, bytes | None]] = []
         for index, test_file in shard:
+            if shutdown.draining():
+                # the file that was executing when the drain was requested
+                # has finished (and persisted); everything after it in this
+                # shard degrades to a resumable stand-in
+                file_result, failure = _drained_file_result(spec.host_name, test_file)
+                failures.append(failure)
+                results.append((index, file_result, None))
+                continue
             key = None
             if store is not None:
                 key = _file_result_key(spec, test_file)
@@ -512,6 +528,7 @@ def _execute_shard(
                 else:
                     store.save(FILE_RESULTS_NAMESPACE, key, blob)
             results.append((index, file_result, blob))
+            kill_point("file-finish")
     except AdapterNotFoundError:
         raise  # infrastructure: the submitter degrades to threads
     except Exception as error:
@@ -590,18 +607,41 @@ class WorkerPool:
         self._inline = (os.cpu_count() or 1) <= 1
 
     def map_shards(self, spec: RunnerSpec, shards, caching: bool, collect_stats: bool, store_ref=None, probe_store: bool = True, policy=None):
-        """Submit every shard and gather ``(indexed_results, stats, infra_failures)`` triples."""
-        return self.map_tasks(
-            _run_shard, [(spec, shard, caching, collect_stats, store_ref, probe_store, policy) for shard in shards]
-        )
+        """Submit every shard and gather ``(indexed_results, stats, infra_failures)`` triples.
 
-    def map_tasks(self, fn, tasks):
+        When the shards are store-aware, a shard *re-dispatched* after a
+        worker crash always probes the store (``probe_store=True``), whatever
+        the first dispatch did: the killed worker persisted every file it
+        finished, so the replacement loads those and re-executes only the
+        files that were genuinely in flight.
+        """
+        tasks = [(spec, shard, caching, collect_stats, store_ref, probe_store, policy) for shard in shards]
+        retry_tasks = None
+        if store_ref is not None and not probe_store:
+            retry_tasks = [(spec, shard, caching, collect_stats, store_ref, True, policy) for shard in shards]
+        return self.map_tasks(_run_shard, tasks, retry_tasks=retry_tasks)
+
+    def map_tasks(self, fn, tasks, retry_tasks=None):
         """Run ``fn(*task)`` for every argument tuple; results in task order.
 
         The generic sibling of :meth:`map_shards` for non-runner workloads —
         corpus generation shards its per-file donor recording over the same
         campaign pool this way.  ``fn`` must be a module-level callable when
         the pool is process-flavoured (it travels by pickle).
+
+        **Worker-crash containment**: a task whose future dies of pool
+        infrastructure breakage (a ``kill -9``'d worker breaks the whole
+        ``ProcessPoolExecutor`` — every pending future raises
+        :class:`BrokenProcessPool`) does not fail the batch.  Results that
+        already arrived are kept; the pool is rebuilt once and only the
+        unfinished tasks are re-dispatched — on the rebuilt process pool
+        first, then (if it breaks again, or for non-rebuildable breakage
+        like pickling errors) on the sticky thread-degraded pool.
+        ``retry_tasks``, when given, replaces the argument tuples used for
+        re-dispatch (same length/order as ``tasks``); :meth:`map_shards`
+        uses it to turn store probing on so a crashed worker's persisted
+        files are loaded, not re-executed.  Genuine errors raised by ``fn``
+        propagate unchanged.
         """
         if self._inline:
             # Run on this thread, but behind a pool-scoped adapter pool so the
@@ -616,9 +656,58 @@ class WorkerPool:
                 return [fn(*task) for task in tasks]
             finally:
                 _WORKER_POOL_LOCAL.pool = previous
-        pool = self._ensure()
-        futures = [pool.submit(fn, *task) for task in tasks]
-        return [future.result() for future in futures]
+        results: list = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        dispatch = list(tasks)
+        rebuilt = False
+        while True:
+            try:
+                pool = self._ensure()
+                futures = {index: pool.submit(fn, *dispatch[index]) for index in pending}
+            except Exception as error:
+                # bootstrap/submission failure: nothing of this round ran
+                if self.flavour != "process" or not _is_pool_infra_error(error):
+                    raise
+                self.degrade_to_threads()
+                if self._inline:
+                    return self._finish_inline(fn, dispatch, pending, results)
+                continue
+            unfinished: list[int] = []
+            last_infra: BaseException | None = None
+            for index in pending:
+                try:
+                    results[index] = futures[index].result()
+                except Exception as error:
+                    if self.flavour != "process" or not _is_pool_infra_error(error):
+                        raise
+                    unfinished.append(index)
+                    last_infra = error
+            if not unfinished:
+                return results
+            pending = unfinished
+            if retry_tasks is not None:
+                dispatch = list(retry_tasks)
+            if isinstance(last_infra, BrokenProcessPool) and not rebuilt:
+                # a killed worker broke the pool; the completed futures kept
+                # their results — rebuild once and re-dispatch only the rest
+                rebuilt = True
+                logger.warning(
+                    "worker pool broke mid-batch (%s); rebuilding and re-dispatching %d unfinished task(s)",
+                    last_infra, len(pending),
+                )
+                if self._pool is not None:
+                    self._pool.shutdown()
+                    self._pool = None
+            else:
+                self.degrade_to_threads()
+                if self._inline:
+                    return self._finish_inline(fn, dispatch, pending, results)
+
+    def _finish_inline(self, fn, dispatch, pending, results):
+        """Finish a crash-containment re-dispatch on the inline (1-core) path."""
+        for index, outcome in zip(pending, self.map_tasks(fn, [dispatch[index] for index in pending])):
+            results[index] = outcome
+        return results
 
     def local_executor(self) -> ThreadPoolExecutor:
         """The pool's in-process thread lane (lazily created, pool-lifetime).
@@ -760,10 +849,13 @@ def run_suite_sharded(
                     result=result, workers=workers, executor="process", cache_stats=worker_stats,
                     file_blobs=file_blobs, infra_failures=failures,
                 )
-            except _POOL_INFRA_ERRORS:
+            except Exception as error:
+                if not _is_pool_infra_error(error):
+                    # genuine errors raised inside a shard propagate
+                    raise
                 # pool infrastructure failures (no fork support, sandboxed
-                # semaphores, unpicklable payloads, killed workers) degrade to
-                # threads; genuine errors raised inside a shard propagate
+                # semaphores, unpicklable payloads, killed workers) that
+                # map_tasks' containment could not absorb degrade to threads
                 worker_pool.degrade_to_threads()
 
         # thread workers share this process's caches: per-shard deltas would
@@ -803,7 +895,9 @@ def map_over_pool(worker_pool: WorkerPool, fn, tasks):
     if worker_pool.flavour == "process":
         try:
             return worker_pool.map_tasks(fn, tasks)
-        except _POOL_INFRA_ERRORS:
+        except Exception as error:
+            if not _is_pool_infra_error(error):
+                raise
             worker_pool.degrade_to_threads()
     return worker_pool.map_tasks(fn, tasks)
 
@@ -875,9 +969,18 @@ def assemble_suite_result(
                 blobs[index] = report.file_blobs.get(partial_index)
             infra_failures.extend(report.infra_failures)
         else:
-            if prepare_runner is not None:
-                prepare_runner()
+            prepared = False
             for index, test_file in missing:
+                if shutdown.draining():
+                    # finish nothing new: the remaining misses degrade to
+                    # resumable stand-ins (never persisted)
+                    assembled[index], failure = _drained_file_result(spec.host_name, test_file)
+                    infra_failures.append(failure)
+                    continue
+                if not prepared:
+                    prepared = True
+                    if prepare_runner is not None:
+                        prepare_runner()
                 file_result = runner.run_file(test_file)
                 assembled[index] = file_result
                 try:
@@ -886,6 +989,7 @@ def assemble_suite_result(
                     continue  # unencodable file result: reuse simply does not extend to it
                 blobs[index] = blob
                 store.save(FILE_RESULTS_NAMESPACE, keys[index], blob)
+                kill_point("file-finish")
     merged = SuiteResult(suite=suite.name, host=spec.host_name)
     merged.files = [assembled[index] for index in range(len(suite.files))]
     merged.infra_failures = infra_failures

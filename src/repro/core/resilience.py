@@ -200,8 +200,11 @@ class InfraFailure:
 
     ``kind`` is one of ``"retry-exhausted"`` (a transient error survived
     every attempt), ``"watchdog-timeout"`` (a wedged execution was cut off),
-    or ``"adapter-quarantined"`` (the circuit breaker refused the adapter).
-    ``path`` is the affected test file, or ``""`` for whole-cell failures.
+    ``"adapter-quarantined"`` (the circuit breaker refused the adapter), or
+    ``"shutdown-drain"`` (a signal-requested drain prevented the work from
+    starting; see :mod:`repro.core.shutdown` — these cells re-enter on
+    resume).  ``path`` is the affected test file, or ``""`` for whole-cell
+    failures.
     Only *unrecovered* faults become records — recovered retries leave the
     results byte-identical to a fault-free run.
     """

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
+from repro.core import shutdown
 from repro.core.commands import RunnerState, apply_control_record
 from repro.core.comparison import ComparisonResult, compare_query_result
 from repro.core.records import (
@@ -186,6 +187,48 @@ class SuiteResult:
         return failures
 
 
+def _synthesize_file_result(host_name: str, test_file: TestFile, outcome: RecordOutcome, reason: str) -> FileResult:
+    """A stand-in :class:`FileResult` for a file infrastructure would not run.
+
+    The first SQL record carries the terminal ``outcome`` (HANG for watchdog
+    cutoffs, SKIP for quarantines, exhausted retries, and shutdown drains)
+    and the rest are SKIPped, mirroring how the runner reports a mid-file
+    engine crash.  These results are never persisted to the store — on
+    resume the file re-executes.
+    """
+    file_result = FileResult(path=test_file.path, suite=test_file.suite, host=host_name)
+    position = 0
+    for record in test_file.records:
+        if isinstance(record, ControlRecord):
+            continue
+        if position == 0:
+            file_result.results.append(RecordResult(record=record, outcome=outcome, reason=reason, error=reason))
+        else:
+            file_result.results.append(RecordResult(record=record, outcome=RecordOutcome.SKIP, reason=reason))
+        position += 1
+    return file_result
+
+
+def _drained_file_result(host_name: str, test_file: TestFile):
+    """``(stand-in FileResult, InfraFailure)`` for a file a drain skipped.
+
+    The failure record is what routes a drained campaign through the
+    existing partial-results machinery: the cell is not memoized, the CLI
+    exits 2, and resume re-enters exactly this file.
+    """
+    from repro.core.resilience import InfraFailure
+
+    reason = f"shutdown drain: {shutdown.drain_reason()}" if shutdown.drain_reason() else "shutdown drain"
+    failure = InfraFailure(
+        kind=shutdown.SHUTDOWN_DRAIN_KIND,
+        suite=test_file.suite,
+        host=host_name,
+        path=test_file.path,
+        detail=shutdown.drain_reason(),
+    )
+    return _synthesize_file_result(host_name, test_file, RecordOutcome.SKIP, reason), failure
+
+
 class TestRunner:
     """Runs unified-format test files on a DBMS adapter."""
 
@@ -278,6 +321,13 @@ class TestRunner:
                 ).result
         suite_result = SuiteResult(suite=suite.name, host=self.host_name)
         for test_file in suite.files:
+            if shutdown.draining():
+                # a shutdown drain finishes in-flight files but starts no new
+                # ones: the rest of the suite degrades to resumable stand-ins
+                file_result, failure = _drained_file_result(self.host_name, test_file)
+                suite_result.files.append(file_result)
+                suite_result.infra_failures.append(failure)
+                continue
             suite_result.files.append(self.run_file(test_file))
         return suite_result
 

@@ -9,21 +9,26 @@ produces one :class:`TransplantResult` per (suite, host) pair, and
 from __future__ import annotations
 
 import logging
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.adapters.base import DBMSAdapter
 from repro.adapters.faults import FaultReport, FaultSummary
 from repro.adapters.pool import AdapterPool, adapter_breaker, pool_key
 from repro.adapters.registry import create_adapter
+from repro.core import shutdown
+from repro.core.journal import JOURNAL_DIRNAME, CampaignJournal, campaign_spec
 from repro.core.records import TestSuite
 from repro.core.resilience import InfraFailure, ResiliencePolicy, default_policy, run_with_deadline
 from repro.core.runner import RecordOutcome, SuiteResult, TestRunner
 from repro.errors import AdapterQuarantinedError, WatchdogTimeout
+from repro.killpoints import kill_point
 from repro.perf import cache as perf_cache
 from repro.store import artifacts as artifact_store
 from repro.store import codec as result_codec
-from repro.store.keys import suite_content_hash
+from repro.store.keys import FILE_RESULTS_NAMESPACE, file_result_key, key_digest, suite_content_hash
 
 logger = logging.getLogger(__name__)
 
@@ -161,6 +166,7 @@ def run_transplant(
     store: "artifact_store.ArtifactStore | str | None" = artifact_store.DEFAULT,
     incremental: bool = True,
     resilience: ResiliencePolicy | None = None,
+    journal: CampaignJournal | None = None,
 ) -> TransplantResult:
     """Run ``suite`` on ``host`` and collect results plus crash/hang reports.
 
@@ -204,6 +210,14 @@ def run_transplant(
     no trace in the result, keeping recovered campaigns byte-identical to
     fault-free ones.  Caller-provided ``adapter`` instances opt out of
     cell-level retry (no rebuild is possible on a foreign instance).
+
+    ``journal`` (a :class:`~repro.core.journal.CampaignJournal`, normally
+    wired by :func:`run_matrix`) records this cell's start and finish as
+    durable write-ahead events: ``cell-start`` lands before any execution
+    (including a warm store hit), ``cell-finish`` — with the cell's store
+    digest and its per-file artifact digests — after the memo save.  A
+    process killed between the two leaves the cell visibly in flight, which
+    is exactly what a crash-resume re-enters.
     """
     donor = DONOR_OF_SUITE.get(suite.name, suite.name)
     if available_extensions is None:
@@ -220,18 +234,66 @@ def run_transplant(
                     suite, host, donor, float_tolerance, translate_dialect, available_extensions, max_records_per_file
                 ),
             )
+
+    def _journal_file_events() -> "list[dict] | None":
+        # the artifact digests workers/assembly really wrote: reconstruct the
+        # RunnerSpec exactly as they do — fork_config() of a freshly built
+        # (never connected) adapter — so the journaled keys match the store
+        try:
+            from repro.core.parallel import runner_spec_for
+
+            spec = runner_spec_for(
+                TestRunner(
+                    create_adapter(host),
+                    host_name=host,
+                    available_extensions=available_extensions,
+                    float_tolerance=float_tolerance,
+                    translate_dialect=translate_dialect,
+                    donor_dialect=donor,
+                    max_records_per_file=max_records_per_file,
+                )
+            )
+        except Exception:
+            return None
+        if spec is None:
+            return None
+        return [
+            {
+                "path": test_file.path,
+                "artifact": key_digest(FILE_RESULTS_NAMESPACE, file_result_key(spec, test_file), backing.fingerprint),
+            }
+            for test_file in suite.files
+        ]
+
+    def _journal_finish(result: TransplantResult) -> None:
+        if journal is None:
+            return
+        clean = not result.infra_failures
+        artifact = key_digest(memo[0], memo[1], backing.fingerprint) if (memo is not None and clean) else None
+        files = _journal_file_events() if (backing is not None and clean) else None
+        journal.cell_finished(suite.name, host, complete=clean, artifact=artifact, files=files)
+        kill_point("cell-finish")
+
+    if journal is not None:
+        journal.cell_started(suite.name, host)
+        kill_point("cell-start")
+    if memo is not None:
         cached = backing.load(*memo)
         if cached is not None:
             try:
                 if isinstance(cached, dict):
                     # the assembled-cell format: header + per-file frames
-                    return result_codec.decode_transplant_bundle(cached, suite)
-                return result_codec.decode_transplant_result(cached, suite)
+                    decoded = result_codec.decode_transplant_bundle(cached, suite)
+                else:
+                    decoded = result_codec.decode_transplant_result(cached, suite)
             except result_codec.CodecError:
                 # pre-codec pickle, version bump, or garbled payload: discard
                 # and recompute (the save below writes a fresh entry); the
                 # invalidation reclassifies the load as a miss
                 backing.invalidate(*memo)
+            else:
+                _journal_finish(decoded)
+                return decoded
     # mirrors TestRunner.run_suite's guard: only multi-file suites shard
     sharded = workers > 1 and len(suite.files) > 1
     may_assemble = backing is not None and incremental
@@ -247,7 +309,6 @@ def run_transplant(
         cell_adapter = adapter
         leased = False
         created = False
-        deferred_setup = False
         if cell_adapter is None:
             if pool is not None and not sharded and not may_assemble:
                 # one lease per campaign host instead of a build per transplant
@@ -260,51 +321,54 @@ def run_transplant(
                 # RunnerSpec, so it stays unconnected; a pool lease (or this
                 # adapter's setup()) happens lazily, the moment something
                 # actually executes.  Only the plain serial path connects
-                # here, keeping seed behaviour.
+                # (inside the guarded block below), keeping seed behaviour.
                 cell_adapter = create_adapter(host)
                 created = True
-                if not sharded and not may_assemble:
-                    cell_adapter.setup()
-                else:
-                    deferred_setup = True
-        runner = TestRunner(
-            cell_adapter,
-            host_name=host,
-            available_extensions=available_extensions,
-            float_tolerance=float_tolerance,
-            translate_dialect=translate_dialect,
-            donor_dialect=donor,
-            max_records_per_file=max_records_per_file,
-        )
-        lease = {"adapter": cell_adapter, "leased": leased, "deferred": deferred_setup}
-
-        def _prepare_execution():
-            # bring the deferred adapter to life the moment something must
-            # execute on this process's runner: a campaign pool serves the
-            # lease (reusing live adapters across transplants, exactly as the
-            # eager path did), otherwise the seed adapter's setup() runs —
-            # adapters that hook setup() keep their hook.  A fully-warm
-            # assembly never gets here, so it neither leases nor connects
-            # anything.
-            if not lease["deferred"]:
-                return
-            lease["deferred"] = False
-            if pool is not None and not sharded:
-                lease["adapter"] = pool.acquire(host)
-                lease["leased"] = True
-                runner.adapter = lease["adapter"]
-            else:
-                lease["adapter"].setup()
-
-        if lease["deferred"]:
-            from repro.core.parallel import runner_spec_for
-
-            if runner_spec_for(runner) is None:
-                # no RunnerSpec means neither workers nor incremental assembly
-                # can serve this adapter: run_suite will execute serially on
-                # this very instance — prepare it now
-                _prepare_execution()
+        # the lease is guarded from the moment of acquisition: everything
+        # that can raise — including the eager setup() and the TestRunner
+        # construction — happens inside the try, so an interrupt or failure
+        # anywhere past this point still releases (or tears down) the adapter
+        lease = {"adapter": cell_adapter, "leased": leased, "deferred": created}
         try:
+            if created and not sharded and not may_assemble:
+                lease["adapter"].setup()
+                lease["deferred"] = False
+            runner = TestRunner(
+                lease["adapter"],
+                host_name=host,
+                available_extensions=available_extensions,
+                float_tolerance=float_tolerance,
+                translate_dialect=translate_dialect,
+                donor_dialect=donor,
+                max_records_per_file=max_records_per_file,
+            )
+
+            def _prepare_execution():
+                # bring the deferred adapter to life the moment something must
+                # execute on this process's runner: a campaign pool serves the
+                # lease (reusing live adapters across transplants, exactly as
+                # the eager path did), otherwise the seed adapter's setup()
+                # runs — adapters that hook setup() keep their hook.  A
+                # fully-warm assembly never gets here, so it neither leases
+                # nor connects anything.
+                if not lease["deferred"]:
+                    return
+                lease["deferred"] = False
+                if pool is not None and not sharded:
+                    lease["adapter"] = pool.acquire(host)
+                    lease["leased"] = True
+                    runner.adapter = lease["adapter"]
+                else:
+                    lease["adapter"].setup()
+
+            if lease["deferred"]:
+                from repro.core.parallel import runner_spec_for
+
+                if runner_spec_for(runner) is None:
+                    # no RunnerSpec means neither workers nor incremental
+                    # assembly can serve this adapter: run_suite will execute
+                    # serially on this very instance — prepare it now
+                    _prepare_execution()
             suite_result = None
             file_blobs = None
             if may_assemble:
@@ -446,6 +510,7 @@ def run_transplant(
             payload = None  # unencodable cell (foreign records): skip persisting
         if payload is not None:
             backing.save(*memo, payload)
+    _journal_finish(transplant_result)
     return transplant_result
 
 
@@ -511,6 +576,7 @@ def run_matrix(
     incremental: bool = True,
     resilience: ResiliencePolicy | None = None,
     resume: TransplantMatrix | None = None,
+    journal: "CampaignJournal | str | os.PathLike | bool | None" = None,
 ) -> TransplantMatrix:
     """Run every suite on every host (the Figure 4 campaign).
 
@@ -545,11 +611,57 @@ def run_matrix(
     complete cells are carried over by reference and **only the gaps** (cells
     missing or carrying ``infra_failures``) are re-entered, so recovering from
     a quarantined adapter costs one cell per gap, not a full campaign.
+
+    ``journal`` extends that recovery across *process death*: pass ``True``
+    to keep a durable write-ahead journal under the store
+    (``<store root>/journals/``), a directory to keep it there, a ``.jsonl``
+    path (or existing file) to name the file outright, or an already-open
+    :class:`~repro.core.journal.CampaignJournal`.  Every cell's start and
+    finish is fsync'd before the campaign moves on, so a SIGKILL'd campaign
+    can be re-run with the same arguments: the journal validates that it is
+    the same campaign (same suites/hosts/parameters/store fingerprint — a
+    mismatch raises :class:`~repro.errors.JournalMismatchError`), warm cells
+    replay from the store, and only work that was genuinely in flight
+    re-executes.  Journals a path resolved here are closed here.
+
+    When a drain has been requested (:mod:`repro.core.shutdown` — typically
+    by SIGINT/SIGTERM under ``signal_aware_shutdown``), cells not yet started
+    degrade to SKIP partials carrying an ``InfraFailure`` of kind
+    ``"shutdown-drain"`` instead of executing, so the campaign flows out
+    through the ordinary partial-results path (exit code 2, resumable).
     """
     from repro.core.parallel import WorkerPool
 
     # resolve once so every transplant of the campaign hits the same store
     store = artifact_store.active_store(store)
+    owned_journal = None
+    if journal is False:
+        journal = None
+    elif journal is not None and not isinstance(journal, CampaignJournal):
+        if store is None:
+            raise ValueError("run_matrix(journal=...) requires an artifact store (the campaign id embeds its fingerprint)")
+        spec = campaign_spec(
+            suites,
+            tuple(hosts),
+            float_tolerance=float_tolerance,
+            translate_dialect=translate_dialect,
+            max_records_per_file=max_records_per_file,
+        )
+        if journal is True:
+            owned_journal = CampaignJournal.open_in(Path(store.root) / JOURNAL_DIRNAME, spec, store.fingerprint)
+        else:
+            path = Path(journal)
+            if path.suffix == ".jsonl" or path.is_file():
+                owned_journal = CampaignJournal.open(path, spec, store.fingerprint)
+            else:
+                owned_journal = CampaignJournal.open_in(path, spec, store.fingerprint)
+        journal = owned_journal
+    if journal is not None and journal.replay.incomplete_cells():
+        logger.info(
+            "journal %s: resuming campaign %s... — %d cell(s) in flight at last exit",
+            journal.path, journal.campaign[:16], len(journal.replay.incomplete_cells()),
+        )
+
     owns_adapter_pool = adapter_pool is None
     if adapter_pool is None:
         adapter_pool = AdapterPool()
@@ -561,17 +673,44 @@ def run_matrix(
     try:
         for suite in suites.values():
             for host in hosts:
+                donor = DONOR_OF_SUITE.get(suite.name, suite.name)
+                if shutdown.draining():
+                    # a drained cell never starts (and is never journaled as
+                    # started): it degrades to a SKIP partial so the campaign
+                    # reports incomplete and a resume re-enters exactly here
+                    reason = shutdown.drain_reason() or "shutdown drain"
+                    suite_result = _synthesize_suite_result(
+                        suite, host, RecordOutcome.SKIP, f"shutdown drain: {reason}"
+                    )
+                    failure = InfraFailure(
+                        kind=shutdown.SHUTDOWN_DRAIN_KIND, suite=suite.name, host=host, detail=reason
+                    )
+                    suite_result.infra_failures = [failure]
+                    matrix.add(
+                        TransplantResult(
+                            suite=suite.name, host=host, donor=donor, result=suite_result, infra_failures=[failure]
+                        )
+                    )
+                    continue
                 if resume is not None:
                     prior = resume.entries.get((suite.name, host))
                     if prior is not None and not prior.infra_failures:
                         matrix.add(prior)
+                        if journal is not None and not journal.is_cell_complete(suite.name, host):
+                            journal.cell_finished(suite.name, host, complete=True)
                         continue
                     if prior is not None:
                         logger.info("re-entering incomplete cell (%s, %s)", suite.name, host)
                 if reuse_donor_runs_from is not None and perf_cache.caching_enabled():
-                    donor = DONOR_OF_SUITE.get(suite.name, suite.name)
                     if donor == host and (suite.name, host) in reuse_donor_runs_from.entries:
-                        matrix.add(reuse_donor_runs_from.get(suite.name, host))
+                        carried = reuse_donor_runs_from.get(suite.name, host)
+                        matrix.add(carried)
+                        if (
+                            journal is not None
+                            and not carried.infra_failures
+                            and not journal.is_cell_complete(suite.name, host)
+                        ):
+                            journal.cell_finished(suite.name, host, complete=True)
                         continue
                 matrix.add(
                     run_transplant(
@@ -587,6 +726,7 @@ def run_matrix(
                         store=store,
                         incremental=incremental,
                         resilience=resilience,
+                        journal=journal,
                     )
                 )
     finally:
@@ -594,4 +734,6 @@ def run_matrix(
             worker_pool.shutdown()
         if owns_adapter_pool:
             adapter_pool.close()
+        if owned_journal is not None:
+            owned_journal.close()
     return matrix

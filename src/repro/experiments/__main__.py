@@ -1,8 +1,16 @@
 """Command line: ``python -m repro.experiments [experiment-id ...] [--scale S] [--seed N]``.
 
-``python -m repro.experiments store {stats,gc,clear}`` manages the persistent
-artifact store (inspect footprint, trim to budget, wipe) without deleting
-``~/.cache/repro-store`` blindly.
+``python -m repro.experiments store {stats,gc,audit,clear}`` manages the
+persistent artifact store (inspect footprint, trim to budget, verify and
+repair after a crash, wipe) without deleting ``~/.cache/repro-store``
+blindly.
+
+Campaigns run under signal-aware shutdown: the first SIGINT/SIGTERM drains —
+in-flight files finish and flush, remaining work degrades to resumable
+partial results (exit code 2) — and a second signal exits immediately.  With
+``--journal`` (or ``--resume-from``) progress is additionally journaled to a
+durable write-ahead log, so even a SIGKILL'd campaign resumes with only its
+in-flight work re-executed.
 """
 
 from __future__ import annotations
@@ -11,10 +19,28 @@ import argparse
 import json
 import sys
 
+from repro.core.shutdown import signal_aware_shutdown
 from repro.errors import UnknownExperimentError
 from repro.experiments.context import ExperimentContext
 from repro.experiments.registry import EXPERIMENTS, experiment_entries, get_experiment_entry
 from repro.experiments.stream import run_batch, stream_experiments
+
+
+def _resume_command(argv: list[str], location: str) -> str:
+    """The exact command that resumes this campaign from its journal."""
+    cleaned: list[str] = []
+    skip_value = False
+    for token in argv:
+        if skip_value:
+            skip_value = False
+            continue
+        if token in ("--journal", "--resume-from"):
+            skip_value = token == "--resume-from"
+            continue
+        if token.startswith("--resume-from="):
+            continue
+        cleaned.append(token)
+    return "python -m repro.experiments " + " ".join(cleaned + ["--resume-from", location])
 
 
 def _print_formats() -> None:
@@ -58,14 +84,14 @@ def _format_bytes(count: int) -> str:
 
 
 def store_main(argv: list[str]) -> int:
-    """``python -m repro.experiments store {stats,gc,clear}``."""
+    """``python -m repro.experiments store {stats,gc,audit,clear}``."""
     from repro.store import ArtifactStore, get_default_store
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments store",
         description="Inspect and maintain the persistent artifact store (see docs/STORE.md)",
     )
-    parser.add_argument("action", choices=("stats", "gc", "clear"), help="stats: footprint + counters; gc: recount and evict to budget; clear: delete every artifact")
+    parser.add_argument("action", choices=("stats", "gc", "audit", "clear"), help="stats: footprint + counters; gc: recount and evict to budget; audit: digest-verify every artifact, delete corruption and tmp leftovers; clear: delete every artifact")
     parser.add_argument("--store-dir", default=None, metavar="PATH", help="store root (default: $REPRO_STORE_DIR or ~/.cache/repro-store)")
     parser.add_argument("--max-bytes", type=int, default=None, metavar="N", help="gc only: trim to N bytes instead of the store's steady-state budget")
     parser.add_argument("--json", action="store_true", help="machine-readable output")
@@ -92,6 +118,19 @@ def store_main(argv: list[str]) -> int:
                     print(f"  {namespace:15s} {bucket['entries']:6d} entries  {_format_bytes(bucket['bytes'])}")
             else:
                 print("namespaces:  (empty)")
+        return 0
+
+    if arguments.action == "audit":
+        summary = store.audit()
+        if arguments.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(
+                f"audit: {summary['verified']} artifact(s) verified, {summary['corrupt']} corrupt deleted, "
+                f"{summary['tmp_swept']} tmp leftover(s) swept ({summary['root']})"
+            )
+            for relative in summary["corrupt_paths"]:
+                print(f"  deleted {relative}")
         return 0
 
     if arguments.action == "gc":
@@ -152,6 +191,20 @@ def main(argv: list[str] | None = None) -> int:
         "(--no-incremental re-executes whole suites on any suite-level store miss)",
     )
     parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="keep a durable write-ahead journal of campaign progress under the store "
+        "(<store>/journals/), so a killed campaign can be resumed with --resume-from",
+    )
+    parser.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="PATH",
+        help="resume a journaled campaign: PATH is the journal file or the journals directory "
+        "a previous run wrote (implies --journal there); warm cells replay from the store, "
+        "only in-flight work re-executes",
+    )
+    parser.add_argument(
         "--stream",
         action="store_true",
         help="stream results as they complete: the single campaign pass prints each experiment "
@@ -183,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if arguments.timeout is not None and arguments.timeout <= 0:
         parser.error("--timeout must be positive")
+    if (arguments.journal or arguments.resume_from) and arguments.no_store:
+        parser.error("--journal/--resume-from need the store (the campaign id embeds its fingerprint)")
 
     try:
         for experiment_id in arguments.experiments:
@@ -194,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     selected = arguments.experiments or None
+    journal = arguments.resume_from if arguments.resume_from else (True if arguments.journal else None)
     with ExperimentContext(
         scale=arguments.scale,
         seed=arguments.seed,
@@ -202,27 +258,39 @@ def main(argv: list[str] | None = None) -> int:
         use_store=not arguments.no_store,
         incremental=arguments.incremental,
         timeout_seconds=arguments.timeout,
+        journal=journal,
     ) as context:
-        if arguments.stream:
-            # one streaming pass: results print the moment their last matrix
-            # cell lands (cells overlap when --workers > 1)
-            for result in stream_experiments(selected, context):
-                print(result.text)
-                print()
-        else:
-            # batch: the same single pass, printed in registry order
-            for result in run_batch(selected, context):
-                print(result.text)
-                print()
+        resume_command = None
+        if journal is not None:
+            location = context.journal_location()
+            if location is not None:
+                resume_command = _resume_command(argv, location)
+        # first SIGINT/SIGTERM drains (in-flight files finish and flush, the
+        # rest degrades to resumable partials), a second one exits immediately
+        with signal_aware_shutdown(resume_command=resume_command):
+            if arguments.stream:
+                # one streaming pass: results print the moment their last
+                # matrix cell lands (cells overlap when --workers > 1)
+                for result in stream_experiments(selected, context):
+                    print(result.text)
+                    print()
+            else:
+                # batch: the same single pass, printed in registry order
+                for result in run_batch(selected, context):
+                    print(result.text)
+                    print()
         infra_failures = context.infra_failures()
     if infra_failures:
         # exit code 2: the campaign *finished* but some cells degraded to
         # partial results (quarantined adapter, exhausted retries, watchdog
-        # cut) — distinct from 0 (clean) and 1 (crash / usage error)
+        # cut, shutdown drain) — distinct from 0 (clean) and 1 (crash /
+        # usage error)
         print(f"WARNING: campaign degraded — {len(infra_failures)} unrecovered infrastructure failure(s):", file=sys.stderr)
         for failure in infra_failures:
             where = f"{failure.suite}->{failure.host}" + (f":{failure.path}" if failure.path else "")
             print(f"  [{failure.kind}] {where} after {failure.attempts} attempt(s): {failure.detail}", file=sys.stderr)
+        if resume_command is not None:
+            print(f"resume with: {resume_command}", file=sys.stderr)
         return 2
     return 0
 

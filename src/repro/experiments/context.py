@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.adapters.pool import AdapterPool
+from repro.core.journal import JOURNAL_DIRNAME
 from repro.core.records import TestSuite
 from repro.core.resilience import ResiliencePolicy, set_default_timeout
 from repro.core.transplant import DEFAULT_HOSTS, TransplantMatrix, run_matrix
@@ -70,6 +73,7 @@ class ExperimentContext:
         incremental: bool = True,
         timeout_seconds: float | None = None,
         resilience: ResiliencePolicy | None = None,
+        journal: "bool | str | os.PathLike | None" = None,
     ):
         self.scale = scale
         self.seed = seed
@@ -81,6 +85,12 @@ class ExperimentContext:
         #: campaign resilience policy; None means every cell resolves
         #: :func:`repro.core.resilience.default_policy` at execution time
         self.resilience = resilience
+        #: write-ahead journal setting threaded into every campaign
+        #: (see :func:`repro.core.transplant.run_matrix`): ``True`` journals
+        #: under the store, a path journals there, ``None`` disables.  The
+        #: plain and translated matrices are distinct campaigns and keep
+        #: distinct journal files.
+        self.journal = journal
         #: resolved artifact-store argument threaded through every corpus
         #: build and campaign: an explicit store, the process default
         #: (``DEFAULT``), or ``None`` for storeless
@@ -196,6 +206,7 @@ class ExperimentContext:
                 store=self.store,
                 incremental=self.incremental,
                 resilience=self.resilience,
+                journal=self.journal,
             )
         return self._matrix
 
@@ -219,8 +230,25 @@ class ExperimentContext:
                 store=self.store,
                 incremental=self.incremental,
                 resilience=self.resilience,
+                journal=self.journal,
             )
         return self._translated_matrix
+
+    def journal_location(self) -> str | None:
+        """Where this context's campaign journals live, or None when off.
+
+        ``journal=True`` resolves to the store's ``journals/`` directory;
+        a path setting is returned as given.  Used by the CLI to print the
+        exact ``--resume-from`` target on degraded exits.
+        """
+        if self.journal is None or self.journal is False:
+            return None
+        if self.journal is True:
+            store = artifact_store.active_store(self.store)
+            if store is None:
+                return None
+            return str(Path(store.root) / JOURNAL_DIRNAME)
+        return str(self.journal)
 
     def donor_result(self, suite: str):
         """The donor-on-donor transplant result for one suite."""

@@ -123,8 +123,54 @@ def _warm_corpora(entries: list[ExperimentEntry], plan: list[CellKey], context: 
         context.mysql_suite
 
 
-def _execute_transplant(context: ExperimentContext, key: CellKey, workers: int, worker_pool) -> "TransplantResult":
+def _open_pass_journals(context: ExperimentContext, plan: list[CellKey]) -> dict:
+    """Open this pass's write-ahead journals, one per translate variant.
+
+    The streaming pass is a campaign like any other: when the context has
+    journaling enabled (``ExperimentContext(journal=...)`` / CLI
+    ``--journal``), each cell's start/finish — and its per-file artifact
+    keys — land in a durable journal so a killed pass resumes with
+    ``--resume-from`` exactly like ``run_matrix`` does.  Plain and
+    translated cells are distinct campaigns (the translate switch is part
+    of campaign identity), so a mixed plan opens up to two journals; their
+    specs are derived from the plan's own suites and hosts, which makes the
+    identity stable across reruns of the same experiment selection.
+    """
+    setting = getattr(context, "journal", None)
+    if setting is None or setting is False:
+        return {}
+    from pathlib import Path
+
+    from repro.core.journal import JOURNAL_DIRNAME, CampaignJournal, campaign_spec
+    from repro.store import artifacts as artifact_store
+
+    store = artifact_store.active_store(context.store)
+    if store is None:
+        return {}
+    journals: dict = {}
+    for translate in (False, True):
+        keys = [key for key in plan if key.translate == translate]
+        if not keys:
+            continue
+        suites = {name: context.suites[name] for name in sorted({key.suite for key in keys})}
+        hosts = tuple(sorted({key.host for key in keys}))
+        spec = campaign_spec(suites, hosts, translate_dialect=translate)
+        if setting is True:
+            journals[translate] = CampaignJournal.open_in(Path(store.root) / JOURNAL_DIRNAME, spec, store.fingerprint)
+        else:
+            path = Path(setting)
+            if path.suffix == ".jsonl" or path.is_file():
+                journals[translate] = CampaignJournal.open(path, spec, store.fingerprint)
+            else:
+                journals[translate] = CampaignJournal.open_in(path, spec, store.fingerprint)
+    return journals
+
+
+def _execute_transplant(context: ExperimentContext, key: CellKey, workers: int, worker_pool, journal=None) -> "TransplantResult":
     """Run one matrix cell with the context's store, pools, and policy."""
+    # journal only travels when the pass opened one: run_transplant fakes in
+    # the engine's unit tests (and third-party stand-ins) predate the kwarg
+    extra = {"journal": journal} if journal is not None else {}
     return run_transplant(
         context.suites[key.suite],
         key.host,
@@ -136,14 +182,20 @@ def _execute_transplant(context: ExperimentContext, key: CellKey, workers: int, 
         store=context.store,
         incremental=context.incremental,
         resilience=context.resilience,
+        **extra,
     )
 
 
-def _resolve_cell(context: ExperimentContext, key: CellKey, workers: int, worker_pool) -> "TransplantResult":
+def _resolve_cell(context: ExperimentContext, key: CellKey, workers: int, worker_pool, journal=None) -> "TransplantResult":
     cached = context.peek_cell(key)
     if cached is not None:
         return cached
-    result = _execute_transplant(context, key, workers, worker_pool)
+    if journal is None:
+        # positional-only call: test doubles (and third-party stand-ins) for
+        # _execute_transplant predate the journal kwarg
+        result = _execute_transplant(context, key, workers, worker_pool)
+    else:
+        result = _execute_transplant(context, key, workers, worker_pool, journal=journal)
     context.note_stream_cell(key, result)
     return result
 
@@ -241,6 +293,7 @@ def stream_experiments(
 
     width = max_inflight if max_inflight is not None else shared.workers
     resolved: dict[CellKey, "TransplantResult"] = {}
+    journals = _open_pass_journals(shared, plan)
 
     def _deliver(key: CellKey, result: "TransplantResult") -> list[ExperimentResult]:
         resolved[key] = result
@@ -250,19 +303,25 @@ def stream_experiments(
                 ready.append(subscription.experiment.finalize())
         return ready
 
-    if width <= 1:
-        # serial: same execution shape as the pre-streaming batch (per-cell
-        # file sharding on the context's worker pool, campaign cell order)
-        for key in plan:
-            result = _resolve_cell(shared, key, shared.workers, shared.worker_pool)
-            yield from _deliver(key, result)
-    else:
-        yield from _stream_concurrent(shared, plan, width, _deliver)
+    try:
+        if width <= 1:
+            # serial: same execution shape as the pre-streaming batch (per-cell
+            # file sharding on the context's worker pool, campaign cell order)
+            for key in plan:
+                result = _resolve_cell(shared, key, shared.workers, shared.worker_pool, journals.get(key.translate))
+                yield from _deliver(key, result)
+        else:
+            yield from _stream_concurrent(shared, plan, width, _deliver, journals)
+    finally:
+        for journal in journals.values():
+            journal.close()
 
     _adopt_matrices(shared, resolved)
 
 
-def _stream_concurrent(context: ExperimentContext, plan: list[CellKey], width: int, deliver) -> Iterator[ExperimentResult]:
+def _stream_concurrent(
+    context: ExperimentContext, plan: list[CellKey], width: int, deliver, journals: dict | None = None
+) -> Iterator[ExperimentResult]:
     """Bounded cell fan-out over the worker pool's thread lane.
 
     At most ``width`` cells are in flight at any moment (backpressure: the
@@ -285,7 +344,8 @@ def _stream_concurrent(context: ExperimentContext, plan: list[CellKey], width: i
         while queued or inflight:
             while queued and len(inflight) < width:
                 key = queued.popleft()
-                inflight[lane_pool.submit_local(_resolve_cell, context, key, 1, None)] = key
+                journal = (journals or {}).get(key.translate)
+                inflight[lane_pool.submit_local(_resolve_cell, context, key, 1, None, journal)] = key
             done, _ = wait(inflight, return_when=FIRST_COMPLETED)
             for future in done:
                 key = inflight.pop(future)

@@ -37,10 +37,12 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.killpoints import kill_point
 from repro.store.fingerprint import code_fingerprint
 from repro.store.keys import key_digest
 
@@ -48,6 +50,10 @@ logger = logging.getLogger(__name__)
 
 #: On-disk payload layout version; bump on incompatible changes.
 STORE_FORMAT_VERSION = 1
+
+#: Age (seconds) past which a ``.tmp-`` file cannot belong to a live writer
+#: and the opportunistic open-time sweep may reclaim it.
+STALE_TMP_SECONDS = 3600.0
 
 #: Default store location (overridable via ``REPRO_STORE_DIR`` / CLI).
 DEFAULT_ROOT = "~/.cache/repro-store"
@@ -186,6 +192,14 @@ class ArtifactStore:
         #: first write and bumped per save, so the under-budget fast path
         #: never walks the tree; None = not yet seeded
         self._approx_bytes: int | None = None
+        # reclaim leftovers of killed writers on open; the age threshold
+        # spares any live concurrent writer's in-flight temp file, and a
+        # failing sweep must never fail a store open
+        if self.root.exists():
+            try:
+                self.sweep_tmp(max_age_seconds=STALE_TMP_SECONDS)
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     # -- addressing --------------------------------------------------------------------
 
@@ -213,7 +227,9 @@ class ArtifactStore:
         try:
             with handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            kill_point("store-tmp")
             os.replace(handle.name, path)
+            kill_point("store-write")
         except BaseException:
             self._discard(Path(handle.name))
             raise
@@ -473,6 +489,89 @@ class ArtifactStore:
             "entries_after": entries_before - evicted,
             "evicted": evicted,
             "max_bytes": budget,
+        }
+
+    def sweep_tmp(self, max_age_seconds: float = 0.0) -> int:
+        """Delete ``.tmp-`` leftovers of killed writers; returns the count.
+
+        A ``.tmp-`` file is only ever transient — :meth:`_write` replaces it
+        into place or unlinks it — so one found on disk belongs either to a
+        writer that died mid-save or to a live concurrent writer whose
+        ``os.replace`` has not landed yet.  ``max_age_seconds`` tells the two
+        apart: the opportunistic open-time sweep passes
+        :data:`STALE_TMP_SECONDS` (no live write lasts an hour), while
+        :meth:`audit` — an operator action, run when no writer is active —
+        sweeps unconditionally.
+        """
+        if not self.root.exists():
+            return 0
+        now = time.time()
+        removed = 0
+        for path in self.root.rglob(".tmp-*"):
+            try:
+                if now - path.stat().st_mtime < max_age_seconds:
+                    continue
+            except OSError:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if removed:
+            logger.info("store %s: swept %d stale tmp file(s)", self.root, removed)
+        return removed
+
+    def audit(self, sweep: bool = True) -> dict[str, Any]:
+        """Verify every artifact on disk, deleting what fails; returns a summary.
+
+        Three checks per artifact, mirroring exactly what a reader would
+        trust: the pickle envelope must load, its embedded header must match
+        the artifact's on-disk namespace and the current format version, and
+        any codec frame in the payload — the value itself or a bundle's
+        per-file frames — must pass its embedded digest.  Failures are
+        deleted (corruption-as-miss, applied eagerly instead of at first
+        read) and listed in the summary.  ``sweep`` additionally removes
+        every ``.tmp-`` leftover regardless of age: audit is for quiescent
+        stores, e.g. after a crash, before resuming a campaign.
+        """
+        # lazy: codec imports the result types (core.runner et al.), and the
+        # store must stay importable from the bottom of the dependency graph
+        from repro.store.codec import MAGIC, frame_intact
+
+        verified = 0
+        corrupt: list[str] = []
+        for _, _, path in self._artifact_files():
+            namespace = path.relative_to(self.root).parts[0]
+            try:
+                version, stored_namespace, value = self._read(path)
+                if version != STORE_FORMAT_VERSION:
+                    raise ValueError(f"format version {version!r} != {STORE_FORMAT_VERSION}")
+                if stored_namespace != namespace:
+                    raise ValueError(f"artifact labelled {stored_namespace!r} found under {namespace!r}")
+                frames: list[bytes] = []
+                if isinstance(value, (bytes, bytearray)):
+                    frames.append(bytes(value))
+                elif isinstance(value, dict):
+                    frames.extend(bytes(item) for item in value.values() if isinstance(item, (bytes, bytearray)))
+                for frame in frames:
+                    if frame[: len(MAGIC)] == MAGIC and not frame_intact(frame):
+                        raise ValueError("codec frame digest mismatch")
+            except Exception as error:
+                logger.warning("store audit: deleting corrupt artifact %s (%s)", path, error)
+                self._discard_counted(path)
+                with self._lock:
+                    self.stats.errors += 1
+                corrupt.append(str(path.relative_to(self.root)))
+            else:
+                verified += 1
+        swept = self.sweep_tmp(max_age_seconds=0.0) if sweep else 0
+        return {
+            "root": str(self.root),
+            "verified": verified,
+            "corrupt": len(corrupt),
+            "corrupt_paths": sorted(corrupt),
+            "tmp_swept": swept,
         }
 
     def clear(self) -> None:

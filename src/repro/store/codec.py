@@ -60,6 +60,7 @@ __all__ = [
     "encode_transplant_bundle",
     "encode_transplant_result",
     "fault_reports_for",
+    "frame_intact",
 ]
 
 #: Frame magic; the byte after it is the codec version.
@@ -405,6 +406,26 @@ def _frame(document: dict, intern: _Interner) -> bytes:
     payload = json.dumps(document, ensure_ascii=False, separators=(",", ":")).encode("utf-8")
     digest = hashlib.sha256(payload).digest()[:8]
     return MAGIC + bytes([CODEC_VERSION]) + digest + zlib.compress(payload, _ZLIB_LEVEL)
+
+
+def frame_intact(blob: Any) -> bool:
+    """Whether ``blob`` is a structurally sound codec frame (digest verified).
+
+    The store's :meth:`~repro.store.artifacts.ArtifactStore.audit` uses this
+    to digest-verify persisted frames without the live suite a full decode
+    would need to reattach records from.
+    """
+    if not isinstance(blob, (bytes, bytearray)):
+        return False
+    blob = bytes(blob)
+    if len(blob) < len(MAGIC) + 9 or blob[: len(MAGIC)] != MAGIC or blob[len(MAGIC)] != CODEC_VERSION:
+        return False
+    digest = blob[len(MAGIC) + 1 : len(MAGIC) + 9]
+    try:
+        payload = zlib.decompress(blob[len(MAGIC) + 9 :])
+    except zlib.error:
+        return False
+    return hashlib.sha256(payload).digest()[:8] == digest
 
 
 def _unframe(blob: Any, expected_kind: str) -> tuple[dict, list[str]]:

@@ -25,19 +25,36 @@ Process-pool caveat: chaos wrappers live in this process's registry; worker
 *processes* re-import a pristine registry, so chaos campaigns must use the
 thread executor (``executor="thread"``), where injection and breaker state
 are shared.
+
+Beyond in-process faults, :func:`run_crash_campaign` is the **kill-point
+crash harness**: it runs a real journaled campaign in a subprocess
+(:mod:`repro.testing.crash_child`) and either lets ``REPRO_KILL_POINTS``
+SIGKILL it from the inside — at a store write, a journal append, a cell
+boundary — or lands a SIGINT/SIGTERM from the outside to exercise the
+graceful drain.  ``tests/test_crash.py`` uses it to assert the crash-safety
+invariants: the store audits clean after any kill, the journal replays, and
+re-running the same campaign converges to a byte-identical result with only
+in-flight work re-executed.
 """
 
 from __future__ import annotations
 
 import errno
+import json
+import os
+import signal
+import subprocess
+import sys
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
 from repro.adapters.base import DBMSAdapter, ExecutionOutcome
 from repro.adapters.registry import get_adapter_entry, register_adapter
+from repro.killpoints import KILL_ONCE_DIR_ENV, KILL_POINTS_ENV
 from repro.store.artifacts import ArtifactStore
 
 
@@ -221,3 +238,112 @@ class ChaosStore(ArtifactStore):
         if fault is not None:
             raise OSError(errno.EIO, f"chaos[{self.schedule.seed}]: injected write fault")
         super()._write(path, payload)
+
+
+# -- kill-point crash harness -----------------------------------------------------------
+
+
+@dataclass
+class CrashOutcome:
+    """One crash-harness child run: exit status plus its parsed summary.
+
+    ``summary`` is the child's ``CRASH-CHILD-SUMMARY`` JSON payload, or None
+    when the child died before printing one (the expected shape of a SIGKILL
+    run).  ``returncode`` follows :mod:`subprocess` conventions: negative
+    values are the killing signal.
+    """
+
+    returncode: int
+    summary: "dict | None"
+    stdout: str
+    stderr: str
+
+    @property
+    def killed(self) -> bool:
+        """True when the child died to SIGKILL (self-inflicted kill point)."""
+        return self.returncode == -signal.SIGKILL
+
+
+def parse_crash_summary(stdout: str) -> "dict | None":
+    """The last ``CRASH-CHILD-SUMMARY`` JSON line of a child's stdout, or None."""
+    from repro.testing.crash_child import SUMMARY_MARKER
+
+    for line in reversed(stdout.splitlines()):
+        if line.startswith(SUMMARY_MARKER):
+            return json.loads(line[len(SUMMARY_MARKER):].strip())
+    return None
+
+
+def run_crash_campaign(
+    store_dir: "str | os.PathLike",
+    child_args: "tuple[str, ...] | list[str]" = (),
+    kill_points: str | None = None,
+    kill_once_dir: "str | os.PathLike | None" = None,
+    send_signal: int | None = None,
+    ready_file: "str | os.PathLike | None" = None,
+    signal_timeout: float = 30.0,
+    timeout: float = 120.0,
+) -> CrashOutcome:
+    """Run one :mod:`~repro.testing.crash_child` campaign in a subprocess.
+
+    ``kill_points`` (the ``REPRO_KILL_POINTS`` schedule, e.g.
+    ``"store-write:2"``) makes the child SIGKILL itself at an injected
+    operation point; ``kill_once_dir`` threads ``REPRO_KILL_ONCE_DIR`` so a
+    resumed (or worker-rebuilt) process does not re-fire the same point.
+    When ``kill_points`` is None, both variables are *stripped* from the
+    child's environment — a verification run must never inherit a schedule.
+
+    ``send_signal`` delivers a signal from the outside instead: the harness
+    waits for ``ready_file`` to appear (the child touches it at its first
+    in-flight statement; see ``--ready-file``) and then signals, so the
+    graceful-drain path is exercised with work genuinely in flight.
+
+    The child always runs against ``store_dir``; run the same campaign twice
+    with the same store to test crash-resume convergence.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.testing.crash_child",
+        "--store-dir",
+        str(store_dir),
+        *child_args,
+    ]
+    env = dict(os.environ)
+    if kill_points is not None:
+        env[KILL_POINTS_ENV] = kill_points
+        if kill_once_dir is not None:
+            env[KILL_ONCE_DIR_ENV] = str(kill_once_dir)
+    else:
+        env.pop(KILL_POINTS_ENV, None)
+        env.pop(KILL_ONCE_DIR_ENV, None)
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+    try:
+        if send_signal is not None:
+            deadline = time.monotonic() + signal_timeout
+            if ready_file is not None:
+                while (
+                    time.monotonic() < deadline
+                    and not Path(ready_file).exists()
+                    and process.poll() is None
+                ):
+                    time.sleep(0.01)
+            if process.poll() is None:
+                process.send_signal(send_signal)
+        stdout, stderr = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.communicate()
+        raise
+    except BaseException:
+        process.kill()
+        process.communicate()
+        raise
+    return CrashOutcome(
+        returncode=process.returncode,
+        summary=parse_crash_summary(stdout),
+        stdout=stdout,
+        stderr=stderr,
+    )

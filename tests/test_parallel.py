@@ -10,12 +10,20 @@ shard/merge machinery, fallbacks, and worker bookkeeping around it.
 
 from __future__ import annotations
 
+import errno
+
 import pytest
 
 from test_differential import assert_equivalent
 
 from repro.adapters.base import DBMSAdapter, ExecutionOutcome, ExecutionStatus
-from repro.core.parallel import RunnerSpec, run_suite_sharded, runner_spec_for
+from repro.core.parallel import (
+    RunnerSpec,
+    WorkerPool,
+    _is_pool_infra_error,
+    run_suite_sharded,
+    runner_spec_for,
+)
 from repro.core.runner import TestRunner
 from repro.core.transplant import run_matrix, run_transplant
 from repro.corpus import build_suite
@@ -171,3 +179,33 @@ class TestMatrixDonorReuse:
                     "recomputed-donor-run": translated.get("slt", "sqlite").result,
                 }
             )
+
+
+def _raise_eio(value):
+    raise OSError(errno.EIO, "user code hit a failing disk")
+
+
+class TestPoolInfraClassification:
+    """Only pool-infrastructure OSErrors may trigger the thread fallback."""
+
+    def test_user_code_oserror_is_reported_not_retried_as_infra(self):
+        # a genuine I/O failure raised *by the task* must propagate with its
+        # errno intact — and must not degrade the pool, which would silently
+        # re-run the failing work on threads
+        pool = WorkerPool(2, "process")
+        try:
+            with pytest.raises(OSError) as excinfo:
+                pool.map_tasks(_raise_eio, [(1,), (2,)])
+            assert excinfo.value.errno == errno.EIO
+            assert pool.flavour == "process"
+        finally:
+            pool.shutdown()
+
+    def test_errno_whitelist_is_narrow(self):
+        # bootstrap breakage in sandboxes: recoverable by degrading
+        assert _is_pool_infra_error(OSError(errno.ENOSYS, "sem_open unavailable"))
+        assert _is_pool_infra_error(OSError(errno.EPERM, "fork forbidden"))
+        # real-world I/O failures: genuine errors, never infra
+        assert not _is_pool_infra_error(OSError(errno.EIO, "disk failing"))
+        assert not _is_pool_infra_error(OSError(errno.ENOSPC, "disk full"))
+        assert not _is_pool_infra_error(OSError("no errno at all"))

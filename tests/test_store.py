@@ -545,3 +545,147 @@ class TestStoreDegradation:
         assert store.degraded
         store.clear()
         assert not store.degraded
+
+
+# -- audit and stale-tmp sweep -----------------------------------------------------
+
+
+class TestAuditAndSweep:
+    """``audit()`` verifies every artifact a reader would trust, eagerly."""
+
+    def _artifact_paths(self, store):
+        return [path for _, _, path in store._artifact_files()]
+
+    def test_clean_store_audits_clean(self, store):
+        store.save("ns", {"k": 1}, "value")
+        store.save("other", {"k": 2}, [1, 2, 3])
+        report = store.audit()
+        assert report["verified"] == 2
+        assert report["corrupt"] == 0
+        assert report["corrupt_paths"] == []
+
+    def test_truncated_pickle_is_deleted_and_reported(self, store):
+        store.save("ns", {"k": 1}, "value")
+        (path,) = self._artifact_paths(store)
+        path.write_bytes(path.read_bytes()[:-7])
+        report = store.audit()
+        assert report["corrupt"] == 1
+        assert report["corrupt_paths"] == [str(path.relative_to(store.root))]
+        assert not path.exists()
+        assert store.stats.errors == 1
+
+    def test_bad_codec_frame_inside_intact_pickle_is_caught(self, store):
+        import zlib
+
+        from repro.store.codec import CODEC_VERSION, MAGIC
+
+        # the pickle envelope is flawless; only the framed payload's digest
+        # lies — exactly what a torn write followed by a lucky rename, or bit
+        # rot under the pickle layer, would look like
+        forged = MAGIC + bytes([CODEC_VERSION]) + b"12345678" + zlib.compress(b"payload")
+        store.save("file-results", {"k": 1}, forged)
+        store.save("donor-runs", {"k": 2}, {"a.test": forged})  # bundle shape
+        report = store.audit()
+        assert report["corrupt"] == 2
+        assert report["verified"] == 0
+
+    def test_intact_codec_frames_pass(self, store):
+        from repro.adapters import create_adapter
+        from repro.core.runner import TestRunner
+        from repro.store.codec import encode_file_result, frame_intact
+
+        suite = build_suite("slt", file_count=1, records_per_file=3, seed=9)
+        result = TestRunner(create_adapter("sqlite"), host_name="sqlite").run_suite(suite)
+        blob = encode_file_result(result.files[0], suite.files[0])
+        assert frame_intact(blob)
+        assert not frame_intact(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+        assert not frame_intact(b"garbage")
+        assert not frame_intact(None)
+        store.save("file-results", {"k": 1}, blob)
+        assert store.audit()["verified"] == 1
+
+    def test_namespace_mismatch_is_caught(self, store):
+        store.save("ns", {"k": 1}, "value")
+        (path,) = self._artifact_paths(store)
+        impostor_dir = store.root / "other-ns"
+        impostor_dir.mkdir()
+        path.rename(impostor_dir / path.name)
+        report = store.audit()
+        assert report["corrupt"] == 1
+        assert report["corrupt_paths"][0].startswith("other-ns/")
+
+    def test_wrong_format_version_is_caught(self, store):
+        store.save("ns", {"k": 1}, "value")
+        (path,) = self._artifact_paths(store)
+        store._write(path, (STORE_FORMAT_VERSION + 1, "ns", "value"))
+        report = store.audit()
+        assert report["corrupt"] == 1
+
+    def test_audit_sweeps_tmp_unconditionally(self, store):
+        store.save("ns", {"k": 1}, "value")
+        leftover = store.root / "ns" / ".tmp-killed-writer"
+        leftover.write_bytes(b"partial")
+        report = store.audit()
+        assert report["tmp_swept"] == 1
+        assert not leftover.exists()
+        assert store.audit(sweep=False)["tmp_swept"] == 0
+
+    def test_sweep_tmp_age_threshold_spares_live_writers(self, store):
+        store.save("ns", {"k": 1}, "value")
+        fresh = store.root / "ns" / ".tmp-live-writer"
+        fresh.write_bytes(b"in flight")
+        assert store.sweep_tmp(max_age_seconds=3600) == 0
+        assert fresh.exists()
+        assert store.sweep_tmp(max_age_seconds=0) == 1
+        assert not fresh.exists()
+
+    def test_open_time_sweep_removes_stale_tmp(self, tmp_path):
+        import time as _time
+
+        root = tmp_path / "store"
+        first = ArtifactStore(root=root, fingerprint="test-fp")
+        first.save("ns", {"k": 1}, "value")
+        stale = root / "ns" / ".tmp-dead-writer"
+        stale.write_bytes(b"partial")
+        two_hours_ago = _time.time() - 7200
+        os.utime(stale, (two_hours_ago, two_hours_ago))
+        reopened = ArtifactStore(root=root, fingerprint="test-fp")
+        assert not stale.exists()
+        assert reopened.load("ns", {"k": 1}) == "value"
+
+    def test_cli_audit(self, tmp_path):
+        import contextlib
+        import io
+
+        from repro.experiments.__main__ import main
+
+        root = tmp_path / "cli-store"
+        store = ArtifactStore(root=root, fingerprint="cli-fp")
+        store.save("ns", {"k": 1}, "value")
+        store.save("ns", {"k": 2}, "other")
+        path = [p for _, _, p in store._artifact_files()][0]
+        path.write_bytes(b"not a pickle")
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = main(["store", "audit", "--store-dir", str(root)])
+        assert status == 0
+        output = buffer.getvalue()
+        assert "verified" in output and "corrupt" in output
+
+    def test_cli_audit_json(self, tmp_path):
+        import contextlib
+        import io
+        import json
+
+        from repro.experiments.__main__ import main
+
+        root = tmp_path / "cli-store"
+        ArtifactStore(root=root, fingerprint="cli-fp").save("ns", {"k": 1}, "value")
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = main(["store", "audit", "--store-dir", str(root), "--json"])
+        assert status == 0
+        payload = json.loads(buffer.getvalue())
+        assert payload["verified"] == 1
+        assert payload["corrupt"] == 0

@@ -343,3 +343,39 @@ class TestStreamCli:
         assert main(["figure2", "table8", "--stream", "--scale", "0.05", "--seed", "11", "--no-store"]) == 0
         output = capsys.readouterr().out
         assert "Figure 2" in output and "Table 8" in output
+
+
+class TestStreamJournaling:
+    """A journaled streaming pass records its cells like run_matrix does."""
+
+    def test_pass_journals_cells_and_replay_shows_complete(self, tmp_path):
+        from repro.core.journal import replay_journal
+
+        context = _tiny_context(use_store=True, store_dir=tmp_path / "store", journal=True)
+        with context:
+            results = list(stream_experiments(["table4"], context))
+        assert results
+        journals = sorted((tmp_path / "store" / "journals").glob("*.jsonl"))
+        assert journals, "journaled pass wrote no journal"
+        completed = set()
+        for journal in journals:
+            replay = replay_journal(journal)
+            assert replay.incomplete_cells() == []
+            completed |= replay.completed
+        # every executed cell of the pass finished and was journaled complete
+        assert completed
+        assert all(suite and host for suite, host in completed)
+
+    def test_fakes_without_journal_kwarg_still_work(self, monkeypatch):
+        # third-party stand-ins for _execute_transplant predate the journal
+        # kwarg; an unjournaled pass must keep calling them positionally
+        def legacy(context, key, workers, worker_pool):
+            return f"cell({key.suite}->{key.host})"
+
+        monkeypatch.setattr(stream_module, "_execute_transplant", legacy)
+        experiment_id = _register_fake("tmp-journal-legacy", (CellKey("s1", "h1"),))
+        try:
+            results = list(stream_experiments([experiment_id], _tiny_context()))
+        finally:
+            unregister_experiment(experiment_id)
+        assert len(results) == 1
