@@ -9,20 +9,42 @@ native formats) and compute the statistics the paper reports:
   compliance (Figure 2, Table 3),
 * :mod:`repro.analysis.predicates` — WHERE-predicate complexity and join usage
   (Figure 3).
+
+Every scanner is a per-file partial plus an associative merge;
+:mod:`repro.analysis.incremental` persists the partials in the store's
+``file-analysis`` namespace and assembles suite-level answers from them, so
+editing one file re-analyzes one file (see docs/STORE.md).
 """
 
-from repro.analysis.features import runner_feature_matrix, count_runner_commands
-from repro.analysis.filesize import file_size_distribution, size_summary
-from repro.analysis.statements import statement_type_distribution, standard_compliance
-from repro.analysis.predicates import predicate_distribution, join_usage
+from repro.analysis.features import count_runner_commands, file_command_census, merge_command_censuses, runner_feature_matrix
+from repro.analysis.filesize import file_size_distribution, file_size_profile, log_histogram, size_summary
+from repro.analysis.incremental import ANALYSIS_PASSES, SuiteAnalyzer, direct_report, suite_partials
+from repro.analysis.predicates import file_predicate_profile, join_usage, predicate_distribution
+from repro.analysis.statements import (
+    file_statement_profile,
+    standard_compliance,
+    statement_type_counts,
+    statement_type_distribution,
+)
 
 __all__ = [
-    "runner_feature_matrix",
+    "ANALYSIS_PASSES",
+    "SuiteAnalyzer",
     "count_runner_commands",
+    "direct_report",
+    "file_command_census",
+    "file_predicate_profile",
     "file_size_distribution",
-    "size_summary",
-    "statement_type_distribution",
-    "standard_compliance",
-    "predicate_distribution",
+    "file_size_profile",
+    "file_statement_profile",
     "join_usage",
+    "log_histogram",
+    "merge_command_censuses",
+    "predicate_distribution",
+    "runner_feature_matrix",
+    "size_summary",
+    "standard_compliance",
+    "statement_type_counts",
+    "statement_type_distribution",
+    "suite_partials",
 ]

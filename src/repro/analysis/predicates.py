@@ -1,35 +1,21 @@
-"""RQ2: WHERE-predicate complexity and join usage (Figure 3)."""
+"""RQ2: WHERE-predicate complexity and join usage (Figure 3).
+
+Both analyses are computed from one per-file partial
+(:func:`file_predicate_profile`) merged across files
+(:func:`merge_predicate_profiles`), so the incremental analysis layer
+(:mod:`repro.analysis.incremental`) can persist the partials and re-scan only
+edited files; the whole-suite scanners are exactly the merge of their files'
+partials.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.core.records import ControlRecord, TestSuite
+from repro.core.records import ControlRecord, TestFile, TestSuite
 from repro.sqlparser.analyzer import JoinKind, PREDICATE_BUCKETS, analyze_select, predicate_bucket, where_token_count
 from repro.sqlparser.statements import statement_type
-
-
-def _select_statements(suite: TestSuite) -> list[str]:
-    selects = []
-    for test_file in suite.files:
-        for record in test_file.records:
-            if isinstance(record, ControlRecord):
-                continue
-            sql = getattr(record, "sql", "")
-            if statement_type(sql) == "SELECT":
-                selects.append(sql)
-    return selects
-
-
-def predicate_distribution(suite: TestSuite) -> dict[str, float]:
-    """Share of SELECTs per WHERE-token bucket (Figure 3)."""
-    counts: Counter[str] = Counter()
-    selects = _select_statements(suite)
-    for sql in selects:
-        counts[predicate_bucket(where_token_count(sql))] += 1
-    total = len(selects) or 1
-    return {bucket: counts.get(bucket, 0) / total for bucket in PREDICATE_BUCKETS}
 
 
 @dataclass
@@ -56,11 +42,28 @@ class JoinUsage:
         return self.inner_joins / self.total_selects if self.total_selects else 0.0
 
 
-def join_usage(suite: TestSuite) -> JoinUsage:
-    """Join usage statistics reported alongside Figure 3 (Section 4)."""
-    selects = _select_statements(suite)
+def _file_selects(test_file: TestFile) -> list[str]:
+    selects = []
+    for record in test_file.records:
+        if isinstance(record, ControlRecord):
+            continue
+        sql = getattr(record, "sql", "")
+        if statement_type(sql) == "SELECT":
+            selects.append(sql)
+    return selects
+
+
+def file_predicate_profile(test_file: TestFile) -> dict:
+    """The per-file partial behind Figure 3 and the join-usage table.
+
+    One scan of the file's SELECTs yields both the WHERE-token bucket counts
+    and the join-shape tallies.
+    """
+    buckets: Counter[str] = Counter()
     with_join = implicit = inner = outer = 0
+    selects = _file_selects(test_file)
     for sql in selects:
+        buckets[predicate_bucket(where_token_count(sql))] += 1
         shape = analyze_select(sql)
         if not shape.has_join:
             continue
@@ -71,11 +74,61 @@ def join_usage(suite: TestSuite) -> JoinUsage:
             inner += 1
         else:
             outer += 1
+    return {
+        "bucket_counts": dict(buckets),
+        "total_selects": len(selects),
+        "with_any_join": with_join,
+        "implicit_joins": implicit,
+        "inner_joins": inner,
+        "outer_joins": outer,
+    }
+
+
+def merge_predicate_profiles(partials) -> dict:
+    """Merge per-file predicate profiles (associative, order-insensitive)."""
+    merged = {
+        "bucket_counts": Counter(),
+        "total_selects": 0,
+        "with_any_join": 0,
+        "implicit_joins": 0,
+        "inner_joins": 0,
+        "outer_joins": 0,
+    }
+    for partial in partials:
+        merged["bucket_counts"].update(partial["bucket_counts"])
+        for field in ("total_selects", "with_any_join", "implicit_joins", "inner_joins", "outer_joins"):
+            merged[field] += partial[field]
+    return merged
+
+
+def distribution_from_profiles(merged: dict) -> dict[str, float]:
+    """Figure 3's share-per-bucket view of a merged predicate profile."""
+    total = merged["total_selects"] or 1
+    counts = merged["bucket_counts"]
+    return {bucket: counts.get(bucket, 0) / total for bucket in PREDICATE_BUCKETS}
+
+
+def join_usage_from_profiles(suite_name: str, merged: dict) -> JoinUsage:
+    """The join-usage view of a merged predicate profile."""
     return JoinUsage(
-        suite=suite.name,
-        total_selects=len(selects),
-        with_any_join=with_join,
-        implicit_joins=implicit,
-        inner_joins=inner,
-        outer_joins=outer,
+        suite=suite_name,
+        total_selects=merged["total_selects"],
+        with_any_join=merged["with_any_join"],
+        implicit_joins=merged["implicit_joins"],
+        inner_joins=merged["inner_joins"],
+        outer_joins=merged["outer_joins"],
     )
+
+
+def _suite_profiles(suite: TestSuite) -> dict:
+    return merge_predicate_profiles(file_predicate_profile(test_file) for test_file in suite.files)
+
+
+def predicate_distribution(suite: TestSuite) -> dict[str, float]:
+    """Share of SELECTs per WHERE-token bucket (Figure 3)."""
+    return distribution_from_profiles(_suite_profiles(suite))
+
+
+def join_usage(suite: TestSuite) -> JoinUsage:
+    """Join usage statistics reported alongside Figure 3 (Section 4)."""
+    return join_usage_from_profiles(suite.name, _suite_profiles(suite))

@@ -1,11 +1,19 @@
-"""RQ2: statement-type distribution and standard compliance (Figure 2, Table 3)."""
+"""RQ2: statement-type distribution and standard compliance (Figure 2, Table 3).
+
+Both analyses are computed from one per-file partial
+(:func:`file_statement_profile`) merged across files
+(:func:`merge_statement_profiles`), so the incremental analysis layer
+(:mod:`repro.analysis.incremental`) can persist the partials and re-scan only
+edited files; the whole-suite scanners are exactly the merge of their files'
+partials in file order.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.core.records import ControlRecord, TestSuite
+from repro.core.records import ControlRecord, TestFile, TestSuite
 from repro.sqlparser.statements import classify_statement
 
 #: The 15 statement types Figure 2 plots, in the paper's order.
@@ -27,6 +35,10 @@ FIGURE2_STATEMENT_TYPES = (
     "CREATE VIEW",
 )
 
+#: Statement types the relaxed Table 3 variant counts as standard (not in the
+#: SQL standard, universally supported; see :func:`standard_compliance`).
+_RELAXED_STANDARD_TYPES = ("CREATE INDEX", "DROP INDEX")
+
 
 @dataclass
 class ComplianceSummary:
@@ -47,35 +59,107 @@ class ComplianceSummary:
         return self.exclusively_standard_files / self.total_files if self.total_files else 0.0
 
 
-def _iter_statement_infos(suite: TestSuite):
-    for test_file in suite.files:
-        infos = []
-        for record in test_file.records:
-            if isinstance(record, ControlRecord):
-                if record.command.startswith("psql:"):
-                    infos.append(("CLI_COMMAND", False))
-                continue
-            info = classify_statement(getattr(record, "sql", ""))
-            infos.append((info.statement_type, info.is_standard))
-        yield test_file, infos
+def _file_statement_infos(test_file: TestFile) -> list[tuple[str, bool]]:
+    infos: list[tuple[str, bool]] = []
+    for record in test_file.records:
+        if isinstance(record, ControlRecord):
+            if record.command.startswith("psql:"):
+                infos.append(("CLI_COMMAND", False))
+            continue
+        info = classify_statement(getattr(record, "sql", ""))
+        infos.append((info.statement_type, info.is_standard))
+    return infos
 
 
-def statement_type_distribution(suite: TestSuite, top: int | None = None) -> dict[str, float]:
-    """Share of each statement type among all statements of the suite (Figure 2)."""
+def file_statement_profile(test_file: TestFile) -> dict:
+    """The per-file partial behind Figure 2 and both Table 3 variants.
+
+    Carries the statement-type counts (keys in first-occurrence order, so
+    merging in file order reproduces the whole-suite counter exactly) plus
+    the strict and relaxed standard tallies — one scan of the file serves
+    every downstream question.
+    """
+    infos = _file_statement_infos(test_file)
     counts: Counter[str] = Counter()
-    for _file, infos in _iter_statement_infos(suite):
-        counts.update(stype for stype, _ in infos)
-    total = sum(counts.values()) or 1
+    counts.update(stype for stype, _ in infos)
+    standard = sum(1 for _, is_standard in infos if is_standard)
+    relaxed = sum(1 for stype, is_standard in infos if is_standard or stype in _RELAXED_STANDARD_TYPES)
+    return {
+        "counts": dict(counts),
+        "total": len(infos),
+        "standard": standard,
+        "standard_relaxed": relaxed,
+        "all_standard": bool(infos) and standard == len(infos),
+        "all_standard_relaxed": bool(infos) and relaxed == len(infos),
+        "has_statements": bool(infos),
+    }
+
+
+def merge_statement_profiles(partials) -> dict:
+    """Merge per-file statement profiles into suite-level tallies.
+
+    Associative and order-insensitive in its answers; files with no
+    classifiable statements do not count toward ``total_files`` (matching
+    the whole-suite scan, which skips them).
+    """
+    counts: Counter[str] = Counter()
+    total = standard = relaxed = 0
+    exclusively_standard = exclusively_standard_relaxed = total_files = 0
+    for partial in partials:
+        counts.update(partial["counts"])
+        total += partial["total"]
+        standard += partial["standard"]
+        relaxed += partial["standard_relaxed"]
+        if partial["has_statements"]:
+            total_files += 1
+            exclusively_standard += bool(partial["all_standard"])
+            exclusively_standard_relaxed += bool(partial["all_standard_relaxed"])
+    return {
+        "counts": counts,
+        "total": total,
+        "standard": standard,
+        "standard_relaxed": relaxed,
+        "exclusively_standard_files": exclusively_standard,
+        "exclusively_standard_files_relaxed": exclusively_standard_relaxed,
+        "total_files": total_files,
+    }
+
+
+def distribution_from_profiles(merged: dict, top: int | None = None) -> dict[str, float]:
+    """Figure 2's share-per-type view of a merged statement profile."""
+    counts: Counter[str] = merged["counts"]
+    total = merged["total"] or 1
     items = counts.most_common(top) if top else counts.most_common()
     return {stype: count / total for stype, count in items}
 
 
+def compliance_from_profiles(suite_name: str, merged: dict, count_create_index_as_standard: bool = False) -> ComplianceSummary:
+    """Table 3's :class:`ComplianceSummary` view of a merged statement profile."""
+    if count_create_index_as_standard:
+        standard, exclusive = merged["standard_relaxed"], merged["exclusively_standard_files_relaxed"]
+    else:
+        standard, exclusive = merged["standard"], merged["exclusively_standard_files"]
+    return ComplianceSummary(
+        suite=suite_name,
+        total_statements=merged["total"],
+        standard_statements=standard,
+        exclusively_standard_files=exclusive,
+        total_files=merged["total_files"],
+    )
+
+
+def _suite_profiles(suite: TestSuite) -> dict:
+    return merge_statement_profiles(file_statement_profile(test_file) for test_file in suite.files)
+
+
+def statement_type_distribution(suite: TestSuite, top: int | None = None) -> dict[str, float]:
+    """Share of each statement type among all statements of the suite (Figure 2)."""
+    return distribution_from_profiles(_suite_profiles(suite), top)
+
+
 def statement_type_counts(suite: TestSuite) -> Counter:
     """Raw statement-type counts."""
-    counts: Counter[str] = Counter()
-    for _file, infos in _iter_statement_infos(suite):
-        counts.update(stype for stype, _ in infos)
-    return counts
+    return _suite_profiles(suite)["counts"]
 
 
 def standard_compliance(suite: TestSuite, count_create_index_as_standard: bool = False) -> ComplianceSummary:
@@ -85,28 +169,4 @@ def standard_compliance(suite: TestSuite, count_create_index_as_standard: bool =
     counting ``CREATE INDEX`` (not in the standard, universally supported) as
     standard raises SLT's exclusively-standard file share from 63.9% to 99.8%.
     """
-    total_statements = 0
-    standard_statements = 0
-    exclusively_standard_files = 0
-    total_files = 0
-    for _file, infos in _iter_statement_infos(suite):
-        if not infos:
-            continue
-        total_files += 1
-        file_all_standard = True
-        for stype, is_standard in infos:
-            total_statements += 1
-            effective = is_standard or (count_create_index_as_standard and stype in ("CREATE INDEX", "DROP INDEX"))
-            if effective:
-                standard_statements += 1
-            else:
-                file_all_standard = False
-        if file_all_standard:
-            exclusively_standard_files += 1
-    return ComplianceSummary(
-        suite=suite.name,
-        total_statements=total_statements,
-        standard_statements=standard_statements,
-        exclusively_standard_files=exclusively_standard_files,
-        total_files=total_files,
-    )
+    return compliance_from_profiles(suite.name, _suite_profiles(suite), count_create_index_as_standard)

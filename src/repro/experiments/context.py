@@ -114,6 +114,7 @@ class ExperimentContext:
         #: leased adapters instead of rebuilding them per transplant
         self.adapter_pool = AdapterPool()
         self._worker_pool = None
+        self._analysis = None
         #: cells resolved by streaming passes (:mod:`repro.experiments.stream`)
         #: that are not part of a full adopted matrix; keyed by
         #: :class:`~repro.experiments.base.CellKey`
@@ -127,6 +128,31 @@ class ExperimentContext:
 
             self._worker_pool = WorkerPool(self.workers, self.executor)
         return self._worker_pool
+
+    @property
+    def analysis(self):
+        """The campaign's incremental RQ1/RQ2 analyzer (store- and pool-backed).
+
+        Every analysis-driven experiment (tables 2-3, figures 1-3) scans
+        suites through this :class:`~repro.analysis.incremental.SuiteAnalyzer`
+        instead of re-scanning whole suites: per-file partials are served
+        from the store's ``file-analysis`` namespace and only changed files
+        are re-analyzed, fanned over the same worker pool the campaigns
+        execute on.  Storeless contexts (``use_store=False``) degrade to
+        direct scans — value-identical either way.
+        """
+        if self._analysis is None:
+            from repro.analysis.incremental import SuiteAnalyzer
+
+            self._analysis = SuiteAnalyzer(
+                store=self.store,
+                workers=self.workers,
+                executor=self.executor,
+                # resolved per call: analysis shares the campaign's persistent
+                # pool, including one created after the analyzer was built
+                worker_pool=lambda: self.worker_pool,
+            )
+        return self._analysis
 
     def close(self) -> None:
         """Release pooled adapters and shut down campaign workers.

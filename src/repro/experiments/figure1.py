@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.analysis.filesize import file_size_distribution, log_histogram, size_summary
+from repro.analysis.filesize import log_histogram
 from repro.core.report import format_table
 from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
@@ -38,8 +38,9 @@ def _build(context: ExperimentContext) -> ExperimentResult:
     data: dict = {}
     for name in _SUITE_ORDER:
         suite = suites[name]
-        summary = size_summary(suite)
-        sizes = file_size_distribution(suite)
+        # one store probe serves both views: the sizes are the partials
+        sizes = context.analysis.file_size_distribution(suite)
+        summary = context.analysis.size_summary(suite)
         rows.append(summary.as_row())
         data[name] = {
             "sizes": sizes,

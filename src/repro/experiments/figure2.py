@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.analysis.statements import FIGURE2_STATEMENT_TYPES, statement_type_distribution
+from repro.analysis.statements import FIGURE2_STATEMENT_TYPES
 from repro.core.report import format_percentage, format_table
 from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
@@ -32,7 +32,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
 
 
 def _build(context: ExperimentContext) -> ExperimentResult:
-    distributions = {name: statement_type_distribution(context.suites[name]) for name in _SUITES}
+    distributions = {name: context.analysis.statement_type_distribution(context.suites[name]) for name in _SUITES}
     rows = []
     for stype in FIGURE2_STATEMENT_TYPES:
         row = [stype]

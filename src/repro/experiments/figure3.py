@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.analysis.predicates import join_usage, predicate_distribution
 from repro.core.report import format_percentage, format_table
 from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
@@ -33,8 +32,9 @@ def run(context: ExperimentContext) -> ExperimentResult:
 
 
 def _build(context: ExperimentContext) -> ExperimentResult:
-    distributions = {name: predicate_distribution(context.suites[name]) for name in _SUITES}
-    joins = {name: join_usage(context.suites[name]) for name in _SUITES}
+    # both views assemble from the same persisted per-file predicate partials
+    distributions = {name: context.analysis.predicate_distribution(context.suites[name]) for name in _SUITES}
+    joins = {name: context.analysis.join_usage(context.suites[name]) for name in _SUITES}
     rows = []
     for bucket in PREDICATE_BUCKETS:
         rows.append([bucket] + [format_percentage(distributions[name][bucket]) for name in _SUITES])

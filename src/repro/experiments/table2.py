@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.analysis.features import count_runner_commands, feature_support_row
+from repro.analysis.features import feature_support_row
 from repro.core.report import format_table
 from repro.experiments.base import Experiment, ExperimentNeeds, register_experiment
 from repro.experiments.context import ExperimentContext, ExperimentResult
@@ -47,7 +47,8 @@ def _build(context: ExperimentContext) -> ExperimentResult:
     data: dict = {"documented": {suite: feature_support_row(suite) for suite in _SUITES}, "measured": {}}
     for suite in _SUITES:
         corpus = suites[_SUITE_TO_CORPUS[suite]]
-        census = count_runner_commands(corpus)
+        # store-backed incremental census: per-file partials assemble here
+        census = context.analysis.command_census(corpus)
         data["measured"][suite] = census
         empirical_rows.append([suite.capitalize(), census["distinct_commands"], census["distinct_cli_commands"], ", ".join(census["feature_families"]) or "-"])
     empirical = format_table(

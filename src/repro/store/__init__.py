@@ -26,10 +26,12 @@ from repro.store.artifacts import (
 from repro.store.codec import (
     CODEC_VERSION,
     CodecError,
+    decode_analysis_partial,
     decode_file_result,
     decode_suite_result,
     decode_transplant_bundle,
     decode_transplant_result,
+    encode_analysis_partial,
     encode_file_result,
     encode_suite_result,
     encode_transplant_bundle,
@@ -37,8 +39,10 @@ from repro.store.codec import (
 )
 from repro.store.fingerprint import code_fingerprint, reset_fingerprint_cache
 from repro.store.keys import (
+    FILE_ANALYSIS_NAMESPACE,
     FILE_DONOR_NAMESPACE,
     FILE_RESULTS_NAMESPACE,
+    analysis_file_key,
     canonical_bytes,
     content_hash,
     donor_file_key,
@@ -53,20 +57,24 @@ __all__ = [
     "DEFAULT",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_ROOT",
+    "FILE_ANALYSIS_NAMESPACE",
     "FILE_DONOR_NAMESPACE",
     "FILE_RESULTS_NAMESPACE",
     "ArtifactStore",
     "StoreStats",
     "active_store",
+    "analysis_file_key",
     "canonical_bytes",
     "code_fingerprint",
     "content_hash",
     "donor_file_key",
     "file_result_key",
+    "decode_analysis_partial",
     "decode_file_result",
     "decode_suite_result",
     "decode_transplant_bundle",
     "decode_transplant_result",
+    "encode_analysis_partial",
     "encode_file_result",
     "encode_suite_result",
     "encode_transplant_bundle",

@@ -51,10 +51,12 @@ from repro.core.runner import FileResult, RecordOutcome, RecordResult, SuiteResu
 __all__ = [
     "CODEC_VERSION",
     "CodecError",
+    "decode_analysis_partial",
     "decode_file_result",
     "decode_suite_result",
     "decode_transplant_bundle",
     "decode_transplant_result",
+    "encode_analysis_partial",
     "encode_file_result",
     "encode_suite_result",
     "encode_transplant_bundle",
@@ -476,6 +478,36 @@ def decode_file_result(blob: bytes, test_file: TestFile, verify: bool = False) -
     """
     document, strings = _unframe(blob, "file")
     return _decode_file_section(document["f"], test_file, strings, verify=verify)
+
+
+def encode_analysis_partial(pass_id: str, partial: dict) -> bytes:
+    """Serialize one file's analysis partial (a JSON document) for ``pass_id``.
+
+    Analysis partials are small count dictionaries (see
+    :mod:`repro.analysis.incremental`); framing them through the codec buys
+    the same guarantees execution results have — version byte, payload
+    digest, :func:`frame_intact` / store-audit coverage — without the
+    column machinery, which count dicts do not need.
+    """
+    if not isinstance(partial, dict):
+        raise CodecError(f"analysis partial must be a dict, got {type(partial).__name__}")
+    return _frame({"k": "analysis", "p": pass_id, "d": partial}, _Interner())
+
+
+def decode_analysis_partial(blob: bytes, pass_id: str) -> dict:
+    """Rebuild one file's analysis partial; the frame must carry ``pass_id``.
+
+    A frame written by a different pass (a key collision would be the only
+    route there) or whose document is not a dict raises :class:`CodecError`
+    — a miss, never a wrong answer.
+    """
+    document, _strings = _unframe(blob, "analysis")
+    if document.get("p") != pass_id:
+        raise CodecError(f"analysis frame belongs to pass {document.get('p')!r}, not {pass_id!r}")
+    partial = document.get("d")
+    if not isinstance(partial, dict):
+        raise CodecError("analysis frame has no partial document")
+    return partial
 
 
 def encode_suite_result(result: SuiteResult, suite: TestSuite) -> bytes:

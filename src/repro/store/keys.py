@@ -143,6 +143,11 @@ FILE_RESULTS_NAMESPACE = "file-results"
 #: ``repro.corpus.generate`` so corpus edits regenerate only changed files.
 FILE_DONOR_NAMESPACE = "file-donor"
 
+#: Per-file analysis partials (compact codec frames), written by the
+#: incremental RQ1/RQ2 scanners (``repro.analysis.incremental``) so suite
+#: edits re-analyze only changed files.
+FILE_ANALYSIS_NAMESPACE = "file-analysis"
+
 
 def file_result_key(spec: Any, test_file: Any) -> dict:
     """Store key of one file's results under one runner configuration.
@@ -161,6 +166,19 @@ def file_result_key(spec: Any, test_file: Any) -> dict:
     else:
         spec_payload = dict(spec)
     return {"file_hash": content_hash(test_file), "spec": spec_payload}
+
+
+def analysis_file_key(pass_id: str, test_file: Any) -> dict:
+    """Store key of one file's partial result under one analysis pass.
+
+    Mirrors :func:`file_result_key`: keyed on the *file's* content hash (not
+    the suite's), so analysis reuse survives suite recomposition, plus the
+    analysis-pass id — the same file yields different partials under the
+    feature census and the statement profile.  The code fingerprint joins
+    every key automatically (:func:`key_digest`), so a scanner change orphans
+    all partials at once.
+    """
+    return {"file_hash": content_hash(test_file), "pass": pass_id}
 
 
 def donor_file_key(suite: str, records_per_file: int, seed: int, index: int) -> dict:

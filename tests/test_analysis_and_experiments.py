@@ -56,6 +56,56 @@ class TestAnalysis:
         assert len(file_size_distribution(small_slt_suite)) == len(small_slt_suite.files)
 
 
+class TestAnalysisBugfixes:
+    """Regression pins for the RQ1/RQ2 scanner bugfixes."""
+
+    def test_conditions_are_censused_separately_from_commands(self):
+        # skipif/onlyif are guards on SQL records, not runner commands: they
+        # must not inflate distinct_commands, but still witness Skiptest
+        from repro.core.records import Condition, ControlRecord, StatementRecord, TestFile, TestSuite
+
+        test_file = TestFile(path="crafted.test", suite="slt", source_lines=4)
+        test_file.records = [
+            ControlRecord(command="hash-threshold", arguments="8"),
+            StatementRecord(sql="SELECT 1", conditions=[Condition(kind="skipif", dbms="mysql")]),
+            StatementRecord(sql="SELECT 2", conditions=[Condition(kind="onlyif", dbms="sqlite")]),
+            StatementRecord(sql="SELECT 3", conditions=[Condition(kind="skipif", dbms="oracle")]),
+        ]
+        census = count_runner_commands(TestSuite(name="slt", files=[test_file]))
+        assert census["distinct_commands"] == 1
+        assert census["command_counts"] == {"hash-threshold": 1}
+        assert census["condition_counts"] == {"skipif": 2, "onlyif": 1}
+        assert "Skiptest" in census["feature_families"]
+
+    def test_log_histogram_gives_zero_line_files_a_bucket(self):
+        from repro.analysis.filesize import log_histogram
+
+        sizes = [0, 0, 1, 9, 10, 150, 0]
+        histogram = log_histogram(sizes)
+        assert histogram["0"] == 3
+        assert histogram["1-10"] == 2
+        # per-bucket sums always account for every file
+        assert sum(histogram.values()) == len(sizes)
+        assert sum(log_histogram([]).values()) == 0
+
+    def test_all_empty_suite_geometric_mean_is_zero(self):
+        from repro.analysis.filesize import summarize_sizes
+
+        # no positive sizes -> no typical size, not a typical size of one line
+        assert summarize_sizes("empty", [0, 0, 0]).geometric_mean == 0.0
+        assert summarize_sizes("none", []).geometric_mean == 0.0
+        assert summarize_sizes("mixed", [0, 10, 1000]).geometric_mean == pytest.approx(100.0)
+
+    def test_as_row_rounds_float_cells(self):
+        from repro.analysis.filesize import SizeSummary
+
+        summary = SizeSummary(
+            suite="s", file_count=3, minimum=1, maximum=20, mean=7.9, median=6.7, geometric_mean=5.0
+        )
+        # 6.7 -> 7 and 7.9 -> 8; truncation would report 6 and 7
+        assert summary.as_row() == ["s", 3, 1, 7, 8, 20]
+
+
 @pytest.fixture(scope="module")
 def tiny_context():
     # A very small campaign: enough to exercise every experiment end-to-end.

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import ANALYSIS_PASSES
+from repro.analysis.incremental import SuiteAnalyzer, direct_report
 from repro.core.records import TestSuite
 from repro.core.transplant import run_transplant
 from repro.corpus import build_suite
@@ -140,6 +142,63 @@ class TestCampaignVariants:
         lookups = store.stats.by_namespace["file-results"]
         assert lookups == {"hits": 3, "misses": 1}
         assert results["incremental-rebuild"].result.total_cases > 0
+
+
+class TestAnalysisVariants:
+    """Incremental analysis == the direct whole-suite scanners, byte for byte.
+
+    The analysis counterpart of :class:`TestCampaignVariants`: every RQ1/RQ2
+    answer (Table 2 census, Figure 2 distribution, both Table 3 variants,
+    Figure 3 predicates/joins, Figure 1 sizes) assembled from ``file-analysis``
+    partials must be byte-identical — canonical serialization — to the direct
+    scan, cold store, warm store, storeless, and at workers 1 and 4.
+    """
+
+    @pytest.mark.parametrize("suite_name", ("slt", "postgres"))
+    def test_assembled_matches_direct_across_stores_and_workers(self, suite_name, tmp_path):
+        suite = build_suite(suite_name, file_count=4, records_per_file=20, seed=23, store=None)
+        store = ArtifactStore(root=tmp_path / "store", fingerprint="diff-fp")
+
+        def assembled(**kwargs):
+            return lambda: SuiteAnalyzer(store=store, **kwargs).full_report(suite)
+
+        assert_equivalent(
+            {
+                "direct-scan": lambda: direct_report(suite),
+                "storeless-serial": lambda: SuiteAnalyzer(store=None).full_report(suite),
+                "storeless-workers-4": lambda: SuiteAnalyzer(store=None, workers=4, executor="thread").full_report(suite),
+                "assembled-cold": assembled(),
+                "assembled-warm": assembled(),
+                "assembled-warm-workers-4": assembled(workers=4, executor="thread"),
+            }
+        )
+        # the cold pass wrote one partial per (file, pass); both warm replays
+        # then served every lookup from the store
+        lookups = store.stats.by_namespace["file-analysis"]
+        passes = len(ANALYSIS_PASSES)
+        assert lookups == {"hits": 2 * 4 * passes, "misses": 4 * passes}
+
+    @pytest.mark.parametrize("suite_name", ("slt", "postgres"))
+    def test_single_file_edit_reanalyzes_exactly_one_file(self, suite_name, tmp_path):
+        base = build_suite(suite_name, file_count=4, records_per_file=20, seed=23, store=None)
+        donor = build_suite(suite_name, file_count=4, records_per_file=20, seed=24, store=None)
+        edited = TestSuite(name=base.name, files=[*base.files[:2], donor.files[2], *base.files[3:]])
+        assert edited.files[2].path == base.files[2].path
+
+        store = ArtifactStore(root=tmp_path / "store", fingerprint="diff-fp")
+        SuiteAnalyzer(store=store).full_report(base)  # seed per-file partials
+        store.stats.reset()
+
+        assert_equivalent(
+            {
+                "storeless-direct": lambda: direct_report(edited),
+                "assembled-rebuild": lambda: SuiteAnalyzer(store=store).full_report(edited),
+            }
+        )
+        # every pass loaded the three untouched files and re-scanned the edited one
+        passes = len(ANALYSIS_PASSES)
+        lookups = store.stats.by_namespace["file-analysis"]
+        assert lookups == {"hits": 3 * passes, "misses": 1 * passes}
 
 
 class TestStreamingCampaignParity:

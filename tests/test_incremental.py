@@ -166,6 +166,70 @@ class TestAssembly:
         assert canonical_bytes(warm) == canonical_bytes(full)
 
 
+class TestIncrementalAnalysis:
+    """``file-analysis`` mirrors the ``file-results`` mechanics: probe per
+    file, re-scan only the misses, never trust a frame the codec rejects.
+    Whole-lattice value identity lives in test_differential.py; these pin the
+    corrupt-blob protocol and the counters."""
+
+    def test_truncated_analysis_blob_rescans_only_that_file(self, store):
+        from repro.analysis.incremental import ANALYSIS_PASSES, SuiteAnalyzer, direct_report
+
+        suite = build_suite("postgres", file_count=3, records_per_file=12, seed=81, store=None)
+        analyzer = SuiteAnalyzer(store=store)
+        cold = analyzer.full_report(suite)
+        # truncate one per-file codec frame inside its (still valid) pickle:
+        # the store layer reads it fine, only the codec can notice
+        victim = sorted((store.root / "file-analysis").rglob("*.pkl"))[0]
+        version, namespace, blob = pickle.loads(victim.read_bytes())
+        victim.write_bytes(pickle.dumps((version, namespace, blob[: len(blob) // 2])))
+        store.stats.reset()
+        warm = analyzer.full_report(suite)
+        total = len(suite.files) * len(ANALYSIS_PASSES)
+        assert store.stats.by_namespace["file-analysis"] == {"hits": total - 1, "misses": 1}
+        assert store.stats.errors >= 1
+        assert_equivalent({"direct": direct_report(suite), "cold": cold, "after-corruption": warm})
+        # the re-scan overwrote the bad blob: the next assembly is all-hit
+        store.stats.reset()
+        assert canonical_bytes(analyzer.full_report(suite)) == canonical_bytes(cold)
+        assert store.stats.by_namespace["file-analysis"] == {"hits": total, "misses": 0}
+
+    def test_version_bumped_analysis_blob_is_a_miss_not_an_abort(self, store):
+        from repro.analysis.incremental import SuiteAnalyzer, direct_report
+
+        suite = build_suite("slt", file_count=3, records_per_file=12, seed=82, store=None)
+        analyzer = SuiteAnalyzer(store=store)
+        cold = analyzer.full_report(suite)
+        victim = sorted((store.root / "file-analysis").rglob("*.pkl"))[0]
+        version, namespace, blob = pickle.loads(victim.read_bytes())
+        bumped = blob[:3] + bytes([blob[3] + 1]) + blob[4:]  # magic "RRC" + version byte
+        victim.write_bytes(pickle.dumps((version, namespace, bumped)))
+        warm = analyzer.full_report(suite)
+        assert_equivalent({"direct": direct_report(suite), "cold": cold, "after-bump": warm})
+
+    def test_frame_from_another_pass_is_invalidated(self, store):
+        """Defense in depth: the pass id is part of the key, but a frame that
+        *decodes* yet belongs to another pass must still read as a miss."""
+        from repro.analysis import count_runner_commands
+        from repro.analysis.incremental import SuiteAnalyzer
+        from repro.store import analysis_file_key
+        from repro.store.codec import encode_analysis_partial
+
+        suite = build_suite("slt", file_count=3, records_per_file=12, seed=83, store=None)
+        analyzer = SuiteAnalyzer(store=store)
+        analyzer.partials(suite, "features")
+        store.save(
+            "file-analysis",
+            analysis_file_key("features", suite.files[0]),
+            encode_analysis_partial("statements", {"counts": {}}),
+        )
+        store.stats.reset()
+        census = analyzer.command_census(suite)
+        assert store.stats.by_namespace["file-analysis"] == {"hits": 2, "misses": 1}
+        assert store.stats.errors >= 1
+        assert canonical_bytes(census) == canonical_bytes(count_runner_commands(suite))
+
+
 class TestIncrementalCorpus:
     def test_sharded_generation_matches_serial(self):
         serial = generate_corpus("postgres", file_count=4, records_per_file=12, seed=71, store=None)

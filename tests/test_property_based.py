@@ -5,6 +5,9 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.adapters.base import ExecutionOutcome, ExecutionStatus
+from repro.analysis import features, filesize, predicates, statements
+from repro.analysis.incremental import ANALYSIS_PASSES
+from repro.corpus import build_suite
 from repro.core.comparison import ComparisonResult, normalize_value, result_hash
 from repro.core.records import QueryRecord, StatementRecord, TestFile, TestSuite
 from repro.core.runner import FileResult, RecordOutcome, RecordResult, SuiteResult
@@ -157,6 +160,79 @@ class TestEngineProperties:
         session.execute("ROLLBACK")
         after = session.execute("SELECT count(*), coalesce(sum(a), 0) FROM t").rows
         assert before == after
+
+
+# -- incremental analysis merge laws ----------------------------------------------
+#
+# The algebra the file-analysis store namespace rests on: every analysis pass
+# is a per-file partial plus an associative, commutative merge, so assembling
+# cached partials — in whatever order or grouping the store hands them back —
+# must equal the direct whole-suite scan.  Seeded fuzzing over random suites,
+# file counts, and partial orderings; equality is canonical-byte equality
+# (dict key order never counts, float rendering is exact).
+
+
+class TestAnalysisMergeLaws:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_partials_merge_order_independently_for_all_passes(self, seed):
+        rng = random.Random(seed)
+        suite = build_suite(
+            rng.choice(("slt", "postgres", "duckdb", "mysql")),
+            file_count=rng.randint(1, 6),
+            records_per_file=rng.randint(5, 30),
+            seed=rng.randint(0, 999),
+            store=None,
+        )
+
+        def shuffled(pass_id):
+            # a random permutation subsumes every order *and* every split: a
+            # chunked merge concatenates chunk partial lists, which is just
+            # some permutation of the per-file list
+            partials = [ANALYSIS_PASSES[pass_id](test_file) for test_file in suite.files]
+            rng.shuffle(partials)
+            return partials
+
+        # features (Table 2): census == the direct whole-suite census
+        census = features.merge_command_censuses(suite.name, shuffled("features"))
+        assert canonical_bytes(census) == canonical_bytes(features.count_runner_commands(suite))
+
+        # statements (Figure 2 / Table 3): distribution and both compliance variants
+        merged = statements.merge_statement_profiles(shuffled("statements"))
+        assert canonical_bytes(statements.distribution_from_profiles(merged)) == canonical_bytes(
+            statements.statement_type_distribution(suite)
+        )
+        for relaxed in (False, True):
+            assert canonical_bytes(statements.compliance_from_profiles(suite.name, merged, relaxed)) == canonical_bytes(
+                statements.standard_compliance(suite, count_create_index_as_standard=relaxed)
+            )
+
+        # predicates (Figure 3): bucket distribution and join usage
+        merged = predicates.merge_predicate_profiles(shuffled("predicates"))
+        assert canonical_bytes(predicates.distribution_from_profiles(merged)) == canonical_bytes(
+            predicates.predicate_distribution(suite)
+        )
+        assert canonical_bytes(predicates.join_usage_from_profiles(suite.name, merged)) == canonical_bytes(
+            predicates.join_usage(suite)
+        )
+
+        # file sizes (Figure 1): the raw list is ordered, so compare its
+        # permutation-invariant views — summary and histogram — plus the multiset
+        sizes = filesize.sizes_from_profiles(shuffled("filesize"))
+        assert sorted(sizes) == sorted(filesize.file_size_distribution(suite))
+        assert canonical_bytes(filesize.summarize_sizes(suite.name, sizes)) == canonical_bytes(
+            filesize.size_summary(suite)
+        )
+        assert filesize.log_histogram(sizes) == filesize.log_histogram(filesize.file_size_distribution(suite))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**7), max_size=60))
+    @settings(max_examples=100)
+    def test_log_histogram_buckets_partition_the_files(self, sizes):
+        """Every file lands in exactly one bucket — zero-line files included —
+        so the per-bucket counts always sum to the file count."""
+        histogram = filesize.log_histogram(sizes)
+        assert sum(histogram.values()) == len(sizes)
+        assert histogram["0"] == sum(1 for size in sizes if size == 0)
 
 
 # -- the result codec -------------------------------------------------------------
